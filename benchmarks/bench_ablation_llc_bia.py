@@ -1,0 +1,42 @@
+"""Ablation: the LLC-resident BIA (Sec. 6.4) on the Fig.-7 workloads.
+
+The LLC variant pays the 41-cycle LLC latency on every CT op and DS
+access (everything bypasses L1+L2), so it should trail the L1d/L2
+designs while still beating software CT on large DSs — the trade-off
+Sec. 6.4 describes.  Functional correctness on the sliced LLC is
+asserted for every run.
+"""
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import overhead, run_workload
+from repro.workloads import WORKLOADS
+
+
+def sweep():
+    rows = []
+    for workload, size in (("histogram", 4000), ("binary_search", 6000)):
+        reference = WORKLOADS[workload].reference(size, 1)
+        base = run_workload(workload, size, "insecure")
+        row = [WORKLOADS[workload].label(size)]
+        for scheme in ("bia-l1d", "bia-l2", "bia-llc", "ct"):
+            result = run_workload(workload, size, scheme)
+            assert result.output == reference, (workload, scheme)
+            row.append(overhead(result, base))
+        rows.append(tuple(row))
+    return rows
+
+
+def test_llc_bia(once):
+    rows = once(sweep)
+    print(
+        "\n"
+        + format_table(
+            ["workload", "L1d BIA", "L2 BIA", "LLC BIA", "CT"],
+            rows,
+            title="Sec. 6.4: LLC-resident BIA (sliced, LS_Hash=12)",
+        )
+    )
+    for row in rows:
+        label, l1d, l2, llc, ct = row
+        assert l1d < l2 < llc, label  # deeper BIA -> higher latency
+        assert llc < ct, label  # but still ahead of software CT

@@ -1,0 +1,48 @@
+"""Sec. 6.4: can the BIA live in the LLC?  The LS_Hash case analysis.
+
+Reproduces the section's three cases as a table: Skylake-X-like
+machines (LS_Hash >= 12) keep page-granular management; intermediate
+hashes shrink M; Xeon-E5-2430-like machines (LS_Hash = 6) cannot host
+an LLC BIA at all.
+"""
+
+from repro.cache.slices import SliceHash, llc_bia_feasibility
+from repro.experiments.report import format_table
+
+
+def build_rows():
+    rows = []
+    for ls_hash in (6, 8, 10, 12, 14):
+        f = llc_bia_feasibility(ls_hash)
+        rows.append(
+            (
+                ls_hash,
+                "yes" if f.feasible else "no",
+                f.management_bits,
+                f.reason,
+            )
+        )
+    return rows
+
+
+def test_llc_feasibility(once):
+    rows = once(build_rows)
+    print(
+        "\n"
+        + format_table(
+            ["LS_Hash", "feasible", "M (bits)", "why"],
+            rows,
+            title="Sec. 6.4: BIA-in-LLC feasibility",
+        )
+    )
+    by_hash = {r[0]: r for r in rows}
+    assert by_hash[6][1] == "no"
+    assert by_hash[8] == (8, "yes", 8, by_hash[8][3])
+    assert by_hash[12][2] == 12
+    # sanity: the hash model agrees with the case analysis
+    skylake = SliceHash(8, ls_hash=12)
+    page_slices = {skylake.slice_of(0x70000 + 64 * i) for i in range(64)}
+    assert len(page_slices) == 1
+    xeon = SliceHash(8, ls_hash=6)
+    line_slices = {xeon.slice_of(0x70000 + 64 * i) for i in range(64)}
+    assert len(line_slices) > 1

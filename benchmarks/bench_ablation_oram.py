@@ -1,0 +1,80 @@
+"""Related-work baseline: Path ORAM (Raccoon [34]) vs CT vs BIA.
+
+The paper's Sec. 8: "ORAM introduces significant runtime overheads
+that can have a devastating impact on application performance."  This
+benchmark quantifies the full comparison set on a secret-lookup
+workload: BIA < software CT < ORAM at lookup-table sizes, with ORAM's
+per-access cost growing only logarithmically (its asymptotic selling
+point) while CT's grows linearly.
+"""
+
+from repro.core.machine import Machine, MachineConfig
+from repro.ct.bia_ops import BIAContext
+from repro.ct.context import InsecureContext
+from repro.ct.linearize import SoftwareCTContext
+from repro.ct.oram import ORAMContext
+from repro.experiments.report import format_table
+
+N_LOOKUPS = 32
+
+
+def run_lookups(ctx, n_words: int, seed: int = 1) -> float:
+    """N secret-indexed loads over an n-word array; returns cycles."""
+    import random
+
+    rng = random.Random(seed)
+    machine = ctx.machine
+    base = machine.allocator.alloc_words(n_words)
+    for i in range(n_words):
+        ctx.plain_store(base + 4 * i, i)
+    ds = ctx.register_ds(base, 4 * n_words, "table")
+    machine.reset_stats()
+    checksum = 0
+    for _ in range(N_LOOKUPS):
+        idx = rng.randrange(n_words)
+        value = ctx.load(ds, base + 4 * idx)
+        assert value == idx
+        checksum += value
+    return machine.stats.cycles
+
+
+def sweep():
+    rows = []
+    for n_words in (1024, 8192):
+        cycles = {}
+        for label, builder in (
+            ("insecure", lambda m: InsecureContext(m)),
+            ("bia-l1d", lambda m: BIAContext(m)),
+            ("ct", lambda m: SoftwareCTContext(m)),
+            ("oram", lambda m: ORAMContext(m)),
+        ):
+            machine = Machine(MachineConfig())
+            cycles[label] = run_lookups(builder(machine), n_words)
+        base = cycles["insecure"]
+        rows.append(
+            (
+                f"{n_words * 4 // 1024} KiB table",
+                cycles["bia-l1d"] / base,
+                cycles["ct"] / base,
+                cycles["oram"] / base,
+            )
+        )
+    return rows
+
+
+def test_oram_comparison(once):
+    rows = once(sweep)
+    print(
+        "\n"
+        + format_table(
+            ["workload", "BIA", "CT", "ORAM (Raccoon)"],
+            rows,
+            title="Related work: Path ORAM vs software CT vs BIA "
+            f"({N_LOOKUPS} secret lookups)",
+        )
+    )
+    for label, bia, ct, oram in rows:
+        assert bia < ct < oram, label
+    # ORAM's cost grows ~log(n); CT's grows ~n: the gap narrows
+    small, large = rows
+    assert large[3] / large[2] < small[3] / small[2]

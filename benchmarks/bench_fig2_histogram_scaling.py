@@ -1,0 +1,25 @@
+"""Figure 2: software-CT overhead vs dataflow linearization set size.
+
+The paper: ~2x at the default 1,000-element input, climbing to ~50x at
+10,000 even with avx2.  Our in-order latency model inflates the
+absolute overheads for all schemes; the required shape is steep
+monotone growth with DS size and scalar > avx.
+"""
+
+from repro.experiments.figures import FIG2_SIZES, figure2, render_figure2
+
+
+def test_figure2(once):
+    text = once(render_figure2)
+    print("\n" + text)
+    data = figure2()
+    sizes = list(FIG2_SIZES)
+    # monotone growth with the DS size, for both curves
+    for a, b in zip(sizes, sizes[1:]):
+        assert data[b]["ct"] > data[a]["ct"]
+        assert data[b]["ct-scalar"] > data[a]["ct-scalar"]
+    # the avx2 curve sits below the scalar curve
+    for size in sizes:
+        assert data[size]["ct"] < data[size]["ct-scalar"]
+    # growth is dramatic: 10k costs an order of magnitude more than 1k
+    assert data[10000]["ct"] > 5 * data[1000]["ct"]

@@ -1,0 +1,25 @@
+"""Figure 7(a): dijkstra execution-time overhead, V in {32, 64, 96, 128}.
+
+Paper shape: CT grows to ~10x at V=128; both BIA variants stay low;
+and uniquely here the L2 BIA *beats* the L1d BIA at V=128 because the
+64 KiB DS self-evicts in the 64 KiB L1d (Sec. 7.3.2).
+"""
+
+from repro.experiments.figures import figure7, render_figure7
+
+
+def test_figure7a(once):
+    text = once(render_figure7, "dijkstra")
+    print("\n" + text)
+    data = figure7("dijkstra")
+    labels = ["dij_32", "dij_64", "dij_96", "dij_128"]
+    # CT overhead grows with V
+    ct = [data[l]["ct"] for l in labels]
+    assert all(b > a for a, b in zip(ct, ct[1:]))
+    # BIA beats CT at every size from 64 up
+    for label in labels[1:]:
+        assert data[label]["bia-l1d"] < data[label]["ct"]
+        assert data[label]["bia-l2"] < data[label]["ct"]
+    # the Sec. 7.3.2 crossover: L2 BIA wins only at dij_128
+    assert data["dij_128"]["bia-l2"] < data["dij_128"]["bia-l1d"]
+    assert data["dij_32"]["bia-l1d"] < data["dij_32"]["bia-l2"]

@@ -1,0 +1,21 @@
+"""Figure 7(b): histogram execution-time overhead, bins in {1k..8k}.
+
+Paper shape: CT climbs towards ~45x at 8k bins; both BIA variants stay
+far below, with the L1d BIA ahead of the L2 BIA (the DS fits in L1d).
+"""
+
+from repro.experiments.figures import figure7, render_figure7
+
+
+def test_figure7b(once):
+    text = once(render_figure7, "histogram")
+    print("\n" + text)
+    data = figure7("histogram")
+    labels = ["hist_1k", "hist_2k", "hist_4k", "hist_6k", "hist_8k"]
+    ct = [data[l]["ct"] for l in labels]
+    assert all(b > a for a, b in zip(ct, ct[1:]))
+    for label in labels:
+        assert data[label]["bia-l1d"] < data[label]["ct"]
+        assert data[label]["bia-l1d"] < data[label]["bia-l2"]
+    # the reduction is large where the DS is large
+    assert data["hist_8k"]["ct"] > 4 * data["hist_8k"]["bia-l1d"]

@@ -1,0 +1,20 @@
+"""Figure 7(c): permutation execution-time overhead, n in {1k..8k}.
+
+Paper shape: CT climbs towards ~25x; BIA stays low (this workload is
+pure secret-indexed *stores*, so the dirtiness bitmap carries it).
+"""
+
+from repro.experiments.figures import figure7, render_figure7
+
+
+def test_figure7c(once):
+    text = once(render_figure7, "permutation")
+    print("\n" + text)
+    data = figure7("permutation")
+    labels = ["perm_1k", "perm_2k", "perm_4k", "perm_6k", "perm_8k"]
+    ct = [data[l]["ct"] for l in labels]
+    assert all(b > a for a, b in zip(ct, ct[1:]))
+    for label in labels:
+        assert data[label]["bia-l1d"] < data[label]["ct"]
+        assert data[label]["bia-l1d"] < data[label]["bia-l2"]
+    assert data["perm_8k"]["ct"] > 5 * data["perm_8k"]["bia-l1d"]

@@ -1,0 +1,20 @@
+"""Figure 7(d): binary-search execution-time overhead, n in {2k..10k}.
+
+Paper shape: CT is the worst of the five panels (up to ~65x at 10k);
+BIA stays far below.
+"""
+
+from repro.experiments.figures import figure7, render_figure7
+
+
+def test_figure7d(once):
+    text = once(render_figure7, "binary_search")
+    print("\n" + text)
+    data = figure7("binary_search")
+    labels = ["bin_2k", "bin_4k", "bin_6k", "bin_8k", "bin_10k"]
+    ct = [data[l]["ct"] for l in labels]
+    assert all(b > a for a, b in zip(ct, ct[1:]))
+    for label in labels:
+        assert data[label]["bia-l1d"] < data[label]["ct"]
+        assert data[label]["bia-l1d"] < data[label]["bia-l2"]
+    assert data["bin_10k"]["ct"] > 5 * data["bin_10k"]["bia-l1d"]

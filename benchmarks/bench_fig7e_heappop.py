@@ -1,0 +1,21 @@
+"""Figure 7(e): heappop execution-time overhead, n in {2k..10k}.
+
+Paper shape: CT climbs towards ~30x; BIA stays far below.  Heappop
+mixes secret loads and secret stores along the sift-down path, so
+both bitmap kinds are exercised.
+"""
+
+from repro.experiments.figures import figure7, render_figure7
+
+
+def test_figure7e(once):
+    text = once(render_figure7, "heappop")
+    print("\n" + text)
+    data = figure7("heappop")
+    labels = ["heap_2k", "heap_4k", "heap_6k", "heap_8k", "heap_10k"]
+    ct = [data[l]["ct"] for l in labels]
+    assert all(b > a for a, b in zip(ct, ct[1:]))
+    for label in labels:
+        assert data[label]["bia-l1d"] < data[label]["ct"]
+        assert data[label]["bia-l1d"] < data[label]["bia-l2"]
+    assert data["heap_10k"]["ct"] > 5 * data["heap_10k"]["bia-l1d"]

@@ -1,0 +1,26 @@
+"""Figure 8: where the BIA's gain comes from (dijkstra, CT / L1d-BIA).
+
+Paper shape: the instruction-count, icache-reference and
+dcache-reference ratios all track the execution-time ratio well above
+1, while the DRAM ratio stays ~1 — the gain is about eliminated
+instructions and cache-port traffic, not DRAM.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure8, render_figure8
+
+
+def test_figure8(once):
+    text = once(render_figure8)
+    print("\n" + text)
+    data = figure8()
+    for label in ("dij_64", "dij_96", "dij_128"):
+        row = data[label]
+        assert row["insts num"] > 1.0
+        assert row["icache"] > 1.0
+        assert row["dcache"] > 1.0
+        assert row["exec. time"] > 1.0
+        assert row["dram"] == pytest.approx(1.0, abs=0.6)
+    # the gap widens with the DS
+    assert data["dij_128"]["dcache"] > data["dij_64"]["dcache"]

@@ -1,0 +1,27 @@
+"""The abstract's headline: ~7x overhead reduction vs software CT.
+
+Geometric mean over every (workload, size) point of Figure 7 of the
+ratio CT-overhead / L1d-BIA-overhead.  The paper reports "about 7x" on
+its three large-DS benchmarks; we sweep all five Table-2 programs.
+"""
+
+from repro.experiments.figures import headline_reduction
+from repro.experiments.report import format_table
+
+
+def test_headline_reduction(once):
+    data = once(headline_reduction)
+    rows = [(name, ratio) for name, ratio in data.items()]
+    print(
+        "\n"
+        + format_table(
+            ["workload", "CT / L1d-BIA reduction (geomean)"],
+            rows,
+            title="Headline reduction vs state-of-the-art CT",
+        )
+    )
+    # every workload benefits...
+    for name, ratio in data.items():
+        assert ratio > 1.0, name
+    # ...and the overall reduction is of the paper's order (~7x).
+    assert data["overall"] > 3.0

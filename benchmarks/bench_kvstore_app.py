@@ -1,0 +1,56 @@
+"""Application benchmark: the oblivious key-value store.
+
+The intro's cloud scenario as a downstream user would run it: per-query
+cost of an oblivious KV store at growing capacities, under software CT
+vs the BIA.  The BIA's advantage grows with the store (the DS is the
+whole key/value array), which is exactly the "large dataflow
+linearization set" regime the paper targets.
+"""
+
+from repro.core.machine import Machine, MachineConfig
+from repro.ct.bia_ops import BIAContext
+from repro.ct.context import InsecureContext
+from repro.ct.linearize import SoftwareCTContext
+from repro.experiments.report import format_table
+from repro.workloads.kvstore import build_demo_store
+
+N_QUERIES = 8
+
+
+def per_query_cycles(ctx_cls, n_records: int) -> float:
+    machine = Machine(MachineConfig())
+    store, pairs = build_demo_store(ctx_cls(machine), n_records)
+    keys = [pairs[i][0] for i in range(0, n_records, n_records // N_QUERIES)]
+    machine.reset_stats()
+    results = store.get_many(keys[:N_QUERIES])
+    lookup = dict(pairs)
+    assert results == [lookup[k] for k in keys[:N_QUERIES]]
+    return machine.stats.cycles / N_QUERIES
+
+
+def sweep():
+    rows = []
+    for n_records in (1000, 4000, 8000):
+        insecure = per_query_cycles(InsecureContext, n_records)
+        ct = per_query_cycles(SoftwareCTContext, n_records)
+        bia = per_query_cycles(BIAContext, n_records)
+        rows.append(
+            (f"{n_records} records", ct / insecure, bia / insecure, ct / bia)
+        )
+    return rows
+
+
+def test_kvstore_app(once):
+    rows = once(sweep)
+    print(
+        "\n"
+        + format_table(
+            ["store size", "CT overhead", "BIA overhead", "CT/BIA"],
+            rows,
+            title=f"oblivious KV store, per-query overhead ({N_QUERIES} queries)",
+        )
+    )
+    for label, ct, bia, reduction in rows:
+        assert bia < ct, label
+    # the BIA's relative advantage grows with the store
+    assert rows[-1][3] > rows[0][3]

@@ -1,0 +1,29 @@
+"""Sec. 3.1 profile table: histogram 10k, origin vs secure vs secure+avx.
+
+The paper's cachegrind numbers (input size 10,000):
+
+    origin          L1d 142,154      L1i 510,720       LL misses 3,793
+    secure          L1d 18,912,170   L1i 138,380,746   LL misses 3,796
+    secure w/ avx   L1d 19,022,174   L1i 83,230,746    LL misses 3,807
+
+Ours are smaller in absolute terms (48 measured elements instead of
+10,000) but must show the same structure: L1d/L1i refs explode by
+orders of magnitude, avx cuts instructions but not data refs, and LL
+misses barely move.
+"""
+
+from repro.experiments.tables import motivation_profile, render_motivation_profile
+
+
+def test_motivation_profile(once):
+    text = once(render_motivation_profile, 10000)
+    print("\n" + text)
+    data = motivation_profile(10000)
+    origin = data["origin"]
+    secure = data["secure"]
+    avx = data["secure with avx"]
+    assert secure["L1d ref"] > 50 * origin["L1d ref"]
+    assert secure["L1i ref"] > 20 * origin["L1i ref"]
+    assert avx["L1i ref"] < secure["L1i ref"]
+    assert avx["L1d ref"] == secure["L1d ref"]
+    assert secure["LL misses"] <= 3 * max(origin["LL misses"], 1)

@@ -1,0 +1,14 @@
+"""Table 1: the simulated machine configuration."""
+
+from repro.experiments.tables import render_table1, table1_rows
+
+
+def test_table1(once):
+    text = once(render_table1)
+    print("\n" + text)
+    rows = table1_rows()
+    assert rows["L1d cache"].startswith("64 KB")
+    assert rows["L2 cache"].startswith("1 MB")
+    assert rows["Last Level cache"].startswith("16 MB")
+    assert "1 KB" in rows["BIA"]
+    assert "200 cycles" in rows["DRAM"]

@@ -1,0 +1,25 @@
+"""Benchmark harness conventions.
+
+Every benchmark regenerates one table or figure of the paper at the
+paper's full parameter sweep, prints the same rows/series the paper
+reports, and asserts the qualitative shape (who wins, what grows).
+Benchmarks run each generator once (``pedantic(rounds=1)``): the
+interesting measurement is the simulator's figure-generation cost and
+the printed reproduction, not statistical timing of a hot loop.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,73 @@
+"""repro — reproduction of "Hardware Support for Constant-Time Programming".
+
+(Miao, Kandemir, Zhang, Zhang, Tan, Wu — MICRO 2023.)
+
+The library provides, as importable subsystems:
+
+* :mod:`repro.memory`    — backing memory, address arithmetic, DRAM model;
+* :mod:`repro.cache`     — set-associative caches, replacement policies,
+  multi-level hierarchy, prefetcher, LLC slice hashing;
+* :mod:`repro.core`      — the paper's contribution: the BIA bitmap
+  structure, the CTLoad/CTStore micro-ops, and the simulated machine;
+* :mod:`repro.ct`        — constant-time programming: dataflow
+  linearization sets, the software-CT baseline (Constantine-style), and
+  the BIA-based secure load/store algorithms;
+* :mod:`repro.attacks`   — Prime+Probe / Flush+Reload / Evict+Time and
+  trace-equivalence verification;
+* :mod:`repro.workloads` — the five Ghostrider benchmarks and the
+  Fig. 9 crypto kernels;
+* :mod:`repro.experiments` — generators for every table and figure.
+
+Quick start::
+
+    from repro import build_machine, BIAContext
+    from repro.workloads import WORKLOADS
+
+    machine = build_machine("L1D")      # Table-1 machine, BIA in L1d
+    ctx = BIAContext(machine)
+    result = WORKLOADS["histogram"].run(ctx, 1000, 1)
+    print(machine.stats.cycles)
+"""
+
+from repro.core import (
+    BIA,
+    CTOps,
+    CostModel,
+    Machine,
+    MachineConfig,
+    build_machine,
+)
+from repro.ct import (
+    BIAContext,
+    DataflowLinearizationSet,
+    InsecureContext,
+    MitigationContext,
+    SoftwareCTContext,
+)
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SecurityViolationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BIA",
+    "BIAContext",
+    "CTOps",
+    "ConfigurationError",
+    "CostModel",
+    "DataflowLinearizationSet",
+    "InsecureContext",
+    "Machine",
+    "MachineConfig",
+    "MitigationContext",
+    "ProtocolError",
+    "ReproError",
+    "SecurityViolationError",
+    "SoftwareCTContext",
+    "build_machine",
+    "__version__",
+]

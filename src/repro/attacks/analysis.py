@@ -1,0 +1,155 @@
+"""Leakage analysis: trace equivalence and distinguishability.
+
+The security property of constant-time programming (and of the BIA
+algorithms — Sec. 5.3's proof) is *trace equivalence*: for every pair
+of secrets, the attacker-observable behaviour is identical.  This
+module operationalizes it:
+
+* :func:`observe_run` executes a victim on a fresh machine and returns
+  the observable digest plus the per-set access histogram the paper's
+  Figure 10 plots;
+* :func:`check_trace_equivalence` runs a victim factory across many
+  secrets and reports (or raises on) any divergence;
+* :func:`distinguishability` quantifies an attacker's advantage from a
+  set of per-secret observations (fraction of secret pairs an optimal
+  distinguisher tells apart — 0.0 is perfect security).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.attacks.observer import ObservableTraceRecorder
+from repro.core.machine import Machine
+from repro.errors import SecurityViolationError
+
+
+@dataclass
+class Observation:
+    """Attacker-visible outcome of one victim run."""
+
+    secret_id: int
+    digest: str
+    set_accesses: Dict[str, Dict[int, int]]
+
+
+def observe_run(
+    machine_factory: Callable[[], Machine],
+    victim: Callable[[Machine], None],
+    secret_id: int,
+    levels: Sequence[str] = ("L1D", "L2", "LLC"),
+) -> Observation:
+    """Run ``victim`` on a fresh machine, recording the observable trace."""
+    machine = machine_factory()
+    recorder = ObservableTraceRecorder()
+    for name in levels:
+        recorder.attach(machine.hierarchy.level(name))
+    victim(machine)
+    set_accesses = {
+        name: dict(machine.hierarchy.level(name).stats.set_accesses)
+        for name in levels
+    }
+    digest = recorder.digest()
+    recorder.detach()
+    return Observation(secret_id, digest, set_accesses)
+
+
+def check_trace_equivalence(
+    machine_factory: Callable[[], Machine],
+    victim_factory: Callable[[int], Callable[[Machine], None]],
+    secrets: Sequence[int],
+    levels: Sequence[str] = ("L1D", "L2", "LLC"),
+    raise_on_leak: bool = True,
+) -> List[Observation]:
+    """Run the victim once per secret; verify all digests match.
+
+    ``victim_factory(secret)`` must return a runnable that allocates
+    its own arrays on the machine it is given (so every run starts
+    from an identical, empty machine).
+    """
+    observations = [
+        observe_run(machine_factory, victim_factory(secret), secret, levels)
+        for secret in secrets
+    ]
+    digests = {obs.digest for obs in observations}
+    if len(digests) > 1 and raise_on_leak:
+        differing = sorted({obs.secret_id for obs in observations})
+        raise SecurityViolationError(
+            f"observable traces differ across secrets {differing}: "
+            f"{len(digests)} distinct digests"
+        )
+    return observations
+
+
+def distinguishability(observations: Sequence[Observation]) -> float:
+    """Fraction of secret pairs an optimal distinguisher separates.
+
+    1.0 means every pair of secrets produced different observable
+    behaviour (total leakage); 0.0 means none did (the constant-time
+    property holds for the sampled secrets).
+    """
+    if len(observations) < 2:
+        return 0.0
+    pairs = list(combinations(observations, 2))
+    differing = sum(1 for a, b in pairs if a.digest != b.digest)
+    return differing / len(pairs)
+
+
+def leaked_bits(observations: Sequence[Observation]) -> float:
+    """Shannon entropy (bits) of the observable-behaviour distribution.
+
+    Treats each distinct digest as one observable outcome over the
+    sampled secrets: 0.0 means every secret looked identical (nothing
+    to learn); ``log2(len(observations))`` means every secret was
+    uniquely identifiable from the trace alone.
+    """
+    import math
+    from collections import Counter
+
+    if not observations:
+        return 0.0
+    counts = Counter(obs.digest for obs in observations)
+    total = len(observations)
+    return -sum(
+        (c / total) * math.log2(c / total) for c in counts.values()
+    )
+
+
+def varying_sets(
+    observations: Sequence[Observation], level: str
+) -> Dict[int, int]:
+    """Per-set spread of access counts across secrets.
+
+    Returns ``{set_index: max_count - min_count}`` for every set whose
+    count varies — the sets an access-driven attacker would watch
+    (Figure 10's insecure panel is exactly the nonzero entries here).
+    """
+    all_sets = sorted(
+        {
+            s
+            for obs in observations
+            for s in obs.set_accesses.get(level, {})
+        }
+    )
+    out: Dict[int, int] = {}
+    for s in all_sets:
+        counts = [
+            obs.set_accesses.get(level, {}).get(s, 0) for obs in observations
+        ]
+        spread = max(counts) - min(counts)
+        if spread:
+            out[s] = spread
+    return out
+
+
+def set_access_matrix(
+    observations: Sequence[Observation], level: str, sets: Sequence[int]
+) -> List[Tuple[int, List[int]]]:
+    """Figure-10-style matrix: per secret, access counts of chosen sets."""
+    out = []
+    for obs in observations:
+        counts = obs.set_accesses.get(level, {})
+        out.append((obs.secret_id, [counts.get(s, 0) for s in sets]))
+    return out

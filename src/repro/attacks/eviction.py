@@ -1,0 +1,83 @@
+"""Eviction sets: the realistic Prime+Probe building block.
+
+The attack models elsewhere in this package use targeted eviction
+(:meth:`~repro.core.machine.Machine.attacker_evict`) as a shortcut.
+Real attackers cannot name a victim line; they construct an *eviction
+set* — enough attacker-owned addresses mapping to the victim's cache
+set to displace it by capacity — and access it.  This module builds
+and drives such sets against any level of the hierarchy, so the
+shortcut's results can be cross-checked against the real mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import params
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.machine import Machine
+from repro.memory import address as addr_math
+
+
+def build_eviction_set(
+    cache: SetAssociativeCache,
+    target_addr: int,
+    attacker_base: int = 0x5000_0000,
+    extra_ways: int = 0,
+) -> List[int]:
+    """Attacker addresses that map to ``target_addr``'s set.
+
+    Returns ``assoc + extra_ways`` congruent line addresses starting
+    from ``attacker_base`` (which must not alias victim data).
+    """
+    target_set = cache.set_index(target_addr)
+    stride = cache.num_sets * params.LINE_SIZE
+    first = attacker_base + target_set * params.LINE_SIZE
+    return [
+        first + way * stride for way in range(cache.assoc + extra_ways)
+    ]
+
+
+def evict_with_set(
+    machine: Machine, level: str, target_addr: int, **kwargs
+) -> List[int]:
+    """Evict ``target_addr`` from ``level`` by accessing an eviction set.
+
+    Accesses each set member twice (the standard trick to defeat LRU
+    insertion order effects); returns the set used.  The target may
+    remain in *other* levels — exactly like a real conflict eviction.
+    """
+    cache = machine.hierarchy.level(level)
+    eviction_set = build_eviction_set(cache, target_addr, **kwargs)
+    start_level = machine.hierarchy.level_index(level)
+    for _ in range(2):
+        for addr in eviction_set:
+            machine.hierarchy.read_line(
+                addr_math.line_base(addr),
+                start_level=start_level,
+                observable=False,
+            )
+    return eviction_set
+
+
+def occupancy_probe(
+    machine: Machine, level: str, eviction_set: List[int]
+) -> int:
+    """Re-access an eviction set at ``level``; count the misses.
+
+    After priming with the full set, the number of probe misses equals
+    the number of lines the victim displaced — the Prime+Probe signal,
+    measured through real accesses rather than bookkeeping.
+    """
+    cache = machine.hierarchy.level(level)
+    start_level = machine.hierarchy.level_index(level)
+    misses = 0
+    for addr in eviction_set:
+        result = machine.hierarchy.read_line(
+            addr_math.line_base(addr),
+            start_level=start_level,
+            observable=False,
+        )
+        if result.hit_level != cache.name:
+            misses += 1
+    return misses

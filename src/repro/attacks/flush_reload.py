@@ -1,0 +1,51 @@
+"""Flush+Reload attacker.
+
+Requires shared *read-only* lines between attacker and victim (e.g. a
+shared library's lookup table).  The attacker flushes the monitored
+lines from the whole hierarchy, lets the victim run, then reloads each
+line: a fast reload (hit) means the victim brought the line back in.
+
+The paper's threat model centres on Prime+Probe, but Flush+Reload is
+the classic sharper attack on lookup tables, and the mitigation
+contexts must defeat it for the same reason: after linearization the
+set of reloaded-fast lines is identical for every secret.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.machine import Machine
+from repro.memory import address as addr_math
+
+
+class FlushReloadAttacker:
+    """Flush+Reload over an explicit set of monitored (shared) lines."""
+
+    def __init__(self, machine: Machine, monitored_lines: Iterable[int]) -> None:
+        self.machine = machine
+        self.lines = sorted({addr_math.line_base(a) for a in monitored_lines})
+
+    def flush(self) -> None:
+        """clflush every monitored line out of the whole hierarchy."""
+        for line in self.lines:
+            self.machine.attacker_flush(line)
+
+    def reload(self) -> Dict[int, int]:
+        """Reload each line; returns {line_addr: latency}."""
+        return {line: self.machine.attacker_load(line) for line in self.lines}
+
+    def hot_lines(self, reload_latencies: Dict[int, int]) -> List[int]:
+        """Lines the victim touched: reloads faster than a DRAM access."""
+        dram = self.machine.dram.latency
+        return sorted(
+            line
+            for line, latency in reload_latencies.items()
+            if latency < dram
+        )
+
+    def attack(self, victim) -> List[int]:
+        """Flush, run ``victim()``, reload; returns victim-touched lines."""
+        self.flush()
+        victim()
+        return self.hot_lines(self.reload())

@@ -1,0 +1,92 @@
+"""Cache event bus.
+
+The paper's BIA "monitors the cache for any update" (Sec. 4.2): hits,
+fills, invalidations, and dirty-bit transitions all flow to it.  The
+attack substrate needs the same feed to build the *observable trace*
+an access-driven attacker could reconstruct.  Rather than wiring the
+BIA and the observers into the cache directly, each cache owns an
+:class:`EventBus` that fans events out to registered listeners.
+
+Events carry the cache's name so one listener can watch several
+levels.  Listener methods default to no-ops, so implementations only
+override what they care about.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class CacheListener:
+    """Interface for components that observe a cache's state changes."""
+
+    def on_hit(
+        self,
+        cache_name: str,
+        line_addr: int,
+        dirty: bool,
+        lru_updated: bool = True,
+    ) -> None:
+        """A lookup found ``line_addr`` resident (``dirty`` = its dirty bit).
+
+        ``lru_updated`` is False for replacement-suppressed accesses
+        (the Sec. 3.2 rule): those hits change *no* cache state and are
+        invisible to an access-driven attacker.
+        """
+
+    def on_fill(self, cache_name: str, line_addr: int, dirty: bool) -> None:
+        """``line_addr`` was installed into the cache."""
+
+    def on_evict(self, cache_name: str, line_addr: int, dirty: bool) -> None:
+        """``line_addr`` was evicted (capacity/conflict victim)."""
+
+    def on_invalidate(self, cache_name: str, line_addr: int) -> None:
+        """``line_addr`` was invalidated (flush or coherence)."""
+
+    def on_dirty(self, cache_name: str, line_addr: int) -> None:
+        """``line_addr``'s dirty bit transitioned 0 -> 1."""
+
+    def on_clean(self, cache_name: str, line_addr: int) -> None:
+        """``line_addr``'s dirty bit transitioned 1 -> 0 (write-back)."""
+
+
+class EventBus:
+    """Fan-out of cache events to listeners, tagged with the cache name."""
+
+    def __init__(self, cache_name: str) -> None:
+        self.cache_name = cache_name
+        self._listeners: List[CacheListener] = []
+
+    def subscribe(self, listener: CacheListener) -> None:
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: CacheListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    # The emit helpers are hot-path: keep them branchless and tiny.
+
+    def hit(self, line_addr: int, dirty: bool, lru_updated: bool = True) -> None:
+        for listener in self._listeners:
+            listener.on_hit(self.cache_name, line_addr, dirty, lru_updated)
+
+    def fill(self, line_addr: int, dirty: bool) -> None:
+        for listener in self._listeners:
+            listener.on_fill(self.cache_name, line_addr, dirty)
+
+    def evict(self, line_addr: int, dirty: bool) -> None:
+        for listener in self._listeners:
+            listener.on_evict(self.cache_name, line_addr, dirty)
+
+    def invalidate(self, line_addr: int) -> None:
+        for listener in self._listeners:
+            listener.on_invalidate(self.cache_name, line_addr)
+
+    def dirty(self, line_addr: int) -> None:
+        for listener in self._listeners:
+            listener.on_dirty(self.cache_name, line_addr)
+
+    def clean(self, line_addr: int) -> None:
+        for listener in self._listeners:
+            listener.on_clean(self.cache_name, line_addr)

@@ -1,0 +1,192 @@
+"""Multi-level cache hierarchy with Table-1 latencies.
+
+The hierarchy walks an access down L1D -> L2 -> LLC -> DRAM, filling
+the levels above a hit (so upper levels stay warm), writing dirty
+victims back to the next level (or DRAM when the next level no longer
+holds the line), and accumulating the latency of every level touched.
+
+Two access paths exist beyond the normal one:
+
+* ``start_level`` lets accesses *bypass* upper levels — the paper's
+  L2-resident BIA requires CTLoad/CTStore and the subsequent DS
+  accesses to skip the L1 (Sec. 4.2), and the LLC variant skips L1+L2
+  (Sec. 6.4).
+* ``bypass_to_dram`` sends an access straight to memory with no cache
+  state change at all — the Sec. 6.5 granularity optimization for DSs
+  that exceed the cache capacity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.prefetcher import NextLinePrefetcher
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.errors import ConfigurationError
+from repro.memory.dram import DRAM
+
+
+class AccessResult:
+    """Outcome of one line access through the hierarchy."""
+
+    __slots__ = ("latency", "hit_level", "filled")
+
+    def __init__(self, latency: int, hit_level: Optional[str], filled: bool):
+        #: cycles spent on this access (sum of levels touched)
+        self.latency = latency
+        #: name of the level that hit, or None for a DRAM access
+        self.hit_level = hit_level
+        #: whether any cache fill happened
+        self.filled = filled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Access {self.hit_level or 'DRAM'} {self.latency}cy>"
+
+
+class CacheHierarchy:
+    """An ordered stack of caches backed by DRAM."""
+
+    def __init__(
+        self,
+        levels: List[SetAssociativeCache],
+        dram: DRAM,
+        prefetcher: Optional[NextLinePrefetcher] = None,
+    ) -> None:
+        if not levels:
+            raise ConfigurationError("hierarchy needs at least one cache level")
+        names = [c.name for c in levels]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate cache level names: {names}")
+        self.levels = levels
+        self.dram = dram
+        self.prefetcher = prefetcher
+        if prefetcher is not None:
+            prefetcher.bind(self)
+
+    # -- lookups -----------------------------------------------------------------
+
+    def level_index(self, name: str) -> int:
+        for i, cache in enumerate(self.levels):
+            if cache.name == name:
+                return i
+        raise ConfigurationError(f"no cache level named {name!r}")
+
+    def level(self, name: str) -> SetAssociativeCache:
+        return self.levels[self.level_index(name)]
+
+    # -- victim handling -----------------------------------------------------------
+
+    def _write_back_victim(self, level_idx: int, victim) -> int:
+        """Propagate an evicted line; returns extra latency incurred.
+
+        Dirty victims are written to the next level if it still holds
+        the line (mark dirty there), otherwise to DRAM.  Clean victims
+        vanish silently.
+        """
+        if victim is None or not victim.dirty:
+            return 0
+        for lower in self.levels[level_idx + 1 :]:
+            if lower.set_dirty(victim.line_addr):
+                return 0
+        return self.dram.write_line(victim.line_addr)
+
+    def _fill_level(self, level_idx: int, line_addr: int, dirty: bool) -> int:
+        """Fill one level, handling its victim; returns extra latency."""
+        victim = self.levels[level_idx].fill(line_addr, dirty=dirty)
+        return self._write_back_victim(level_idx, victim)
+
+    # -- main access paths ------------------------------------------------------------
+
+    def read_line(
+        self,
+        line_addr: int,
+        start_level: int = 0,
+        update_replacement: bool = True,
+        observable: bool = True,
+        _is_prefetch: bool = False,
+    ) -> AccessResult:
+        """Demand-read ``line_addr``; fills every level from DRAM up."""
+        latency = 0
+        filled = False
+        for i in range(start_level, len(self.levels)):
+            cache = self.levels[i]
+            latency += cache.latency
+            line = cache.access(
+                line_addr,
+                update_replacement=update_replacement,
+                observable=observable,
+            )
+            if line is not None:
+                for j in range(i - 1, start_level - 1, -1):
+                    latency += self._fill_level(j, line_addr, dirty=False)
+                    filled = True
+                return AccessResult(latency, cache.name, filled)
+        latency += self.dram.read_line(line_addr)
+        for j in range(len(self.levels) - 1, start_level - 1, -1):
+            latency += self._fill_level(j, line_addr, dirty=False)
+        if self.prefetcher is not None and not _is_prefetch:
+            self.prefetcher.on_demand_miss(line_addr, start_level)
+        return AccessResult(latency, None, True)
+
+    def write_line(
+        self,
+        line_addr: int,
+        start_level: int = 0,
+        update_replacement: bool = True,
+        observable: bool = True,
+    ) -> AccessResult:
+        """Write-allocate write: read path, then dirty at ``start_level``."""
+        result = self.read_line(
+            line_addr,
+            start_level=start_level,
+            update_replacement=update_replacement,
+            observable=observable,
+        )
+        self.levels[start_level].set_dirty(line_addr)
+        return result
+
+    def read_line_uncached(self, line_addr: int) -> AccessResult:
+        """Sec. 6.5 DRAM bypass: no cache state change at any level."""
+        return AccessResult(self.dram.read_line(line_addr), None, False)
+
+    def write_line_uncached(self, line_addr: int) -> AccessResult:
+        """Sec. 6.5 DRAM bypass for stores."""
+        return AccessResult(self.dram.write_line(line_addr), None, False)
+
+    # -- coherence-style operations ------------------------------------------------
+
+    def flush_line(self, line_addr: int) -> int:
+        """clflush semantics: invalidate everywhere, write back if dirty.
+
+        Returns the latency (DRAM write if any copy was dirty).  Used
+        by the Flush+Reload attacker model.
+        """
+        was_dirty = False
+        for cache in self.levels:
+            line = cache.invalidate(line_addr)
+            if line is not None and line.dirty:
+                was_dirty = True
+        return self.dram.write_line(line_addr) if was_dirty else 0
+
+    def evict_line_from(self, name: str, line_addr: int) -> bool:
+        """Invalidate ``line_addr`` at one level only (attacker eviction).
+
+        Dirty victims propagate exactly like capacity evictions.
+        """
+        idx = self.level_index(name)
+        line = self.levels[idx].invalidate(line_addr)
+        if line is None:
+            return False
+        self._write_back_victim(idx, line)
+        return True
+
+    # -- introspection ------------------------------------------------------------------
+
+    def where(self, line_addr: int) -> List[str]:
+        """Names of the levels currently holding ``line_addr``."""
+        return [c.name for c in self.levels if line_addr in c]
+
+    def reset_stats(self) -> None:
+        for cache in self.levels:
+            cache.stats.reset()
+        self.dram.stats.reset()

@@ -1,0 +1,220 @@
+"""Replacement policies for set-associative structures.
+
+Both the caches and the BIA (which the paper says uses "a
+set-associative policy for placement and an LRU policy for
+replacement", Sec. 4.2) share these policies.
+
+A policy instance manages the ways of *one* set.  The owning set calls
+
+* :meth:`on_fill` when a way is (re)populated,
+* :meth:`on_access` when a resident way is touched — note the paper's
+  security argument requires that secret-relevant accesses *skip* this
+  call ("not updating replacement bit (LRU bit) if the access is
+  secret-relevant", Sec. 3.2), which the cache model honours via its
+  ``update_replacement`` flag,
+* :meth:`on_invalidate` when a way is emptied, and
+* :meth:`victim` to choose a way to evict (invalid ways first).
+
+``make_policy`` builds a policy from its registry name so experiment
+configs can select policies by string.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class ReplacementPolicy:
+    """Base class: tracks which ways are occupied; subclasses rank them."""
+
+    def __init__(self, num_ways: int) -> None:
+        if num_ways <= 0:
+            raise ConfigurationError(f"num_ways must be positive: {num_ways}")
+        self.num_ways = num_ways
+        self._occupied: List[bool] = [False] * num_ways
+
+    # -- hooks ---------------------------------------------------------------
+
+    def on_fill(self, way: int) -> None:
+        self._occupied[way] = True
+        self._rank_touch(way)
+
+    def on_access(self, way: int) -> None:
+        self._rank_touch(way)
+
+    def on_invalidate(self, way: int) -> None:
+        self._occupied[way] = False
+
+    def victim(self) -> int:
+        """Way to evict: any invalid way first, else the policy's choice."""
+        for way, used in enumerate(self._occupied):
+            if not used:
+                return way
+        return self._rank_victim()
+
+    def victim_among(self, allowed: Sequence[int]) -> Optional[int]:
+        """Victim restricted to ``allowed`` ways (locking support).
+
+        Used by PLcache-style designs where some ways are pinned:
+        invalid allowed ways first, then the policy's preference among
+        the allowed ones.  Returns None when ``allowed`` is empty.
+        """
+        if not allowed:
+            return None
+        for way in allowed:
+            if not self._occupied[way]:
+                return way
+        return self._rank_victim_among(allowed)
+
+    def _rank_victim_among(self, allowed: Sequence[int]) -> int:
+        """Default: the first allowed way (subclasses refine)."""
+        return allowed[0]
+
+    # -- subclass API ----------------------------------------------------------
+
+    def _rank_touch(self, way: int) -> None:
+        raise NotImplementedError
+
+    def _rank_victim(self) -> int:
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: evict the way touched longest ago."""
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        self._stamp = 0
+        self._last_use: List[int] = [0] * num_ways
+
+    def _rank_touch(self, way: int) -> None:
+        self._stamp += 1
+        self._last_use[way] = self._stamp
+
+    def _rank_victim(self) -> int:
+        return min(range(self.num_ways), key=self._last_use.__getitem__)
+
+    def _rank_victim_among(self, allowed: Sequence[int]) -> int:
+        return min(allowed, key=self._last_use.__getitem__)
+
+    def recency_order(self) -> List[int]:
+        """Ways from most- to least-recently used (test/observer hook).
+
+        This *is* attacker-relevant state: the trace-equivalence
+        checker hashes it to verify that mitigated programs leave
+        secret-independent LRU state behind.
+        """
+        occupied = [w for w in range(self.num_ways) if self._occupied[w]]
+        return sorted(occupied, key=self._last_use.__getitem__, reverse=True)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: eviction order is fill order; touches ignored."""
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        self._stamp = 0
+        self._fill_time: List[int] = [0] * num_ways
+
+    def on_fill(self, way: int) -> None:
+        self._occupied[way] = True
+        self._stamp += 1
+        self._fill_time[way] = self._stamp
+
+    def _rank_touch(self, way: int) -> None:
+        pass
+
+    def _rank_victim(self) -> int:
+        return min(range(self.num_ways), key=self._fill_time.__getitem__)
+
+    def _rank_victim_among(self, allowed: Sequence[int]) -> int:
+        return min(allowed, key=self._fill_time.__getitem__)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim (seeded so simulations stay reproducible)."""
+
+    def __init__(self, num_ways: int, seed: int = 0) -> None:
+        super().__init__(num_ways)
+        self._rng = random.Random(seed)
+
+    def _rank_touch(self, way: int) -> None:
+        pass
+
+    def _rank_victim(self) -> int:
+        return self._rng.randrange(self.num_ways)
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU over a power-of-two number of ways.
+
+    Internal nodes hold one bit pointing towards the *less* recently
+    used half; an access flips the bits on its root-to-leaf path to
+    point away from itself.
+    """
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        if num_ways & (num_ways - 1):
+            raise ConfigurationError(
+                f"tree PLRU needs power-of-two ways, got {num_ways}"
+            )
+        self._bits: List[int] = [0] * max(num_ways - 1, 1)
+
+    def _rank_touch(self, way: int) -> None:
+        node = 0
+        lo, hi = 0, self.num_ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                self._bits[node] = 1  # cold half is the right one
+                node = 2 * node + 1
+                hi = mid
+            else:
+                self._bits[node] = 0  # cold half is the left one
+                node = 2 * node + 2
+                lo = mid
+        return None
+
+    def _rank_victim(self) -> int:
+        node = 0
+        lo, hi = 0, self.num_ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._bits[node] == 0:
+                node = 2 * node + 1
+                hi = mid
+            else:
+                node = 2 * node + 2
+                lo = mid
+        return lo
+
+
+_REGISTRY: Dict[str, Callable[[int], ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "plru": TreePLRUPolicy,
+}
+
+
+def make_policy(name: str, num_ways: int, seed: Optional[int] = None):
+    """Instantiate a replacement policy by registry name."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown replacement policy {name!r}; "
+            f"choices: {sorted(_REGISTRY)}"
+        ) from None
+    if factory is RandomPolicy and seed is not None:
+        return RandomPolicy(num_ways, seed=seed)
+    return factory(num_ways)
+
+
+def policy_names() -> List[str]:
+    """Registered policy names (for ablation sweeps)."""
+    return sorted(_REGISTRY)

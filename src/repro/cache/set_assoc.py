@@ -1,0 +1,274 @@
+"""Set-associative write-back cache model (metadata-level).
+
+One :class:`SetAssociativeCache` models one level of the hierarchy.
+It tracks which lines are resident and dirty, fires events through its
+:class:`~repro.cache.events.EventBus`, chooses victims through a
+pluggable replacement policy, and keeps the statistics every
+experiment consumes (hits, misses, per-set access counts).
+
+Two paper-specific behaviours live here:
+
+* ``update_replacement=False`` accesses touch the line without moving
+  it in the replacement order — this is the "do not update the LRU bit
+  if the access is secret-relevant" rule (Sec. 3.2) that makes hits by
+  CTLoad/CTStore invisible to replacement side channels.
+* ``observable`` controls whether an access is counted in the per-set
+  access histogram used by the Figure 10 security test.  CT micro-op
+  probes are tag lookups that change no state and are therefore not
+  part of the access-driven attacker's view; real loads/stores are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import params
+from repro.cache.events import EventBus
+from repro.cache.line import CacheLine
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    invalidations: int = 0
+    set_accesses: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def record_set_access(self, set_index: int) -> None:
+        self.set_accesses[set_index] = self.set_accesses.get(set_index, 0) + 1
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.invalidations = 0
+        self.set_accesses.clear()
+
+
+class _CacheSet:
+    """Ways + replacement state for one set."""
+
+    __slots__ = ("ways", "policy", "by_addr")
+
+    def __init__(self, num_ways: int, policy: ReplacementPolicy) -> None:
+        self.ways: List[Optional[CacheLine]] = [None] * num_ways
+        self.policy = policy
+        self.by_addr: Dict[int, int] = {}  # line_addr -> way
+
+
+class SetAssociativeCache:
+    """A single write-back, write-allocate cache level.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in events and reports (``"L1D"``, ``"L2"``...).
+    size_bytes / assoc / line_size:
+        Geometry; ``size_bytes`` must equal ``num_sets * assoc *
+        line_size`` for some power-of-two ``num_sets``.
+    latency:
+        Hit latency in cycles (Table 1 of the paper).
+    replacement:
+        Policy registry name (default ``"lru"``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        latency: int,
+        line_size: int = params.LINE_SIZE,
+        replacement: str = "lru",
+        replacement_seed: int = 0,
+    ) -> None:
+        if size_bytes <= 0 or assoc <= 0 or latency <= 0:
+            raise ConfigurationError(
+                f"{name}: size/assoc/latency must be positive"
+            )
+        if size_bytes % (assoc * line_size):
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"assoc*line_size = {assoc * line_size}"
+            )
+        num_sets = size_bytes // (assoc * line_size)
+        if num_sets & (num_sets - 1):
+            raise ConfigurationError(
+                f"{name}: number of sets {num_sets} is not a power of two"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.latency = latency
+        self.line_size = line_size
+        self.num_sets = num_sets
+        self.replacement = replacement
+        self._sets = [
+            _CacheSet(assoc, make_policy(replacement, assoc, seed=replacement_seed + i))
+            for i in range(num_sets)
+        ]
+        self.events = EventBus(name)
+        self.stats = CacheStats()
+
+    # -- geometry -------------------------------------------------------------
+
+    def set_index(self, line_addr: int) -> int:
+        """Set an address maps to (index bits above the line offset)."""
+        return (line_addr // self.line_size) % self.num_sets
+
+    def __contains__(self, line_addr: int) -> bool:
+        return self.lookup(line_addr) is not None
+
+    # -- pure probes (no state change, no stats) -------------------------------
+
+    def lookup(self, line_addr: int) -> Optional[CacheLine]:
+        """Tag lookup with *no* side effects (used by CTLoad/CTStore)."""
+        cset = self._sets[self.set_index(line_addr)]
+        way = cset.by_addr.get(line_addr)
+        return None if way is None else cset.ways[way]
+
+    def is_dirty(self, line_addr: int) -> bool:
+        line = self.lookup(line_addr)
+        return line is not None and line.dirty
+
+    # -- state-changing operations ---------------------------------------------
+
+    def access(
+        self,
+        line_addr: int,
+        update_replacement: bool = True,
+        observable: bool = True,
+    ) -> Optional[CacheLine]:
+        """Look up ``line_addr``, recording hit/miss statistics.
+
+        Returns the resident line on a hit, ``None`` on a miss.  The
+        caller (hierarchy) is responsible for filling on miss.
+        """
+        set_idx = self.set_index(line_addr)
+        cset = self._sets[set_idx]
+        if observable:
+            self.stats.record_set_access(set_idx)
+        way = cset.by_addr.get(line_addr)
+        if way is None:
+            self.stats.misses += 1
+            return None
+        line = cset.ways[way]
+        self.stats.hits += 1
+        if update_replacement:
+            cset.policy.on_access(way)
+        self.events.hit(line_addr, line.dirty, lru_updated=update_replacement)
+        return line
+
+    def fill(
+        self, line_addr: int, dirty: bool = False
+    ) -> Optional[CacheLine]:
+        """Install ``line_addr``; returns the evicted line, if any.
+
+        If the line is already resident this refreshes its replacement
+        rank (and ORs in ``dirty``) instead of double-filling.
+        """
+        set_idx = self.set_index(line_addr)
+        cset = self._sets[set_idx]
+        existing_way = cset.by_addr.get(line_addr)
+        if existing_way is not None:
+            line = cset.ways[existing_way]
+            cset.policy.on_access(existing_way)
+            if dirty and not line.dirty:
+                line.dirty = True
+                self.events.dirty(line_addr)
+            return None
+        victim_way = cset.policy.victim()
+        victim = cset.ways[victim_way]
+        if victim is not None:
+            del cset.by_addr[victim.line_addr]
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+            self.events.evict(victim.line_addr, victim.dirty)
+        new_line = CacheLine(line_addr, dirty=dirty)
+        cset.ways[victim_way] = new_line
+        cset.by_addr[line_addr] = victim_way
+        cset.policy.on_fill(victim_way)
+        self.stats.fills += 1
+        self.events.fill(line_addr, dirty)
+        return victim
+
+    def set_dirty(self, line_addr: int) -> bool:
+        """Mark a resident line dirty; returns False if not resident."""
+        line = self.lookup(line_addr)
+        if line is None:
+            return False
+        if not line.dirty:
+            line.dirty = True
+            self.events.dirty(line_addr)
+        return True
+
+    def clean(self, line_addr: int) -> bool:
+        """Clear a resident line's dirty bit (write-back completed)."""
+        line = self.lookup(line_addr)
+        if line is None or not line.dirty:
+            return False
+        line.dirty = False
+        self.events.clean(line_addr)
+        return True
+
+    def invalidate(self, line_addr: int) -> Optional[CacheLine]:
+        """Remove ``line_addr`` if resident; returns the removed line."""
+        cset = self._sets[self.set_index(line_addr)]
+        way = cset.by_addr.pop(line_addr, None)
+        if way is None:
+            return None
+        line = cset.ways[way]
+        cset.ways[way] = None
+        cset.policy.on_invalidate(way)
+        self.stats.invalidations += 1
+        self.events.invalidate(line_addr)
+        return line
+
+    # -- introspection ----------------------------------------------------------
+
+    def resident_lines(self) -> List[int]:
+        """Addresses of all resident lines (sorted, for tests)."""
+        out: List[int] = []
+        for cset in self._sets:
+            out.extend(cset.by_addr)
+        return sorted(out)
+
+    def set_contents(self, set_idx: int) -> List[Tuple[int, bool]]:
+        """(line_addr, dirty) pairs resident in one set."""
+        cset = self._sets[set_idx]
+        return [
+            (line.line_addr, line.dirty)
+            for line in cset.ways
+            if line is not None
+        ]
+
+    def replacement_state(self, set_idx: int) -> Tuple[int, ...]:
+        """Attacker-relevant replacement order of one set (LRU only).
+
+        For LRU this is the most- to least-recently-used order of the
+        resident line addresses; other policies expose fill order via
+        resident contents only.
+        """
+        cset = self._sets[set_idx]
+        policy = cset.policy
+        if hasattr(policy, "recency_order"):
+            order = policy.recency_order()
+            return tuple(
+                cset.ways[w].line_addr for w in order if cset.ways[w] is not None
+            )
+        return tuple(sorted(cset.by_addr))

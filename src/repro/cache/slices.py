@@ -1,0 +1,90 @@
+"""LLC slice hashing and the Sec. 6.4 BIA-in-LLC feasibility rules.
+
+Modern LLCs are sliced; a hash of physical-address bits selects the
+slice, and inter-slice traffic leaks through the on-chip interconnect
+at the granularity of the hash's least significant input bit
+(``LS_Hash``).  Sec. 6.4 derives when a BIA can live in the LLC:
+
+* ``LS_Hash >= 12``  — feasible with the normal page granularity
+  (M = 12); whole pages map to one slice (Intel Skylake-X case).
+* ``6 < LS_Hash < 12`` — feasible, but the DS-management granularity M
+  must shrink to ``LS_Hash`` so each DS-management group still lands
+  in a single slice.
+* ``LS_Hash == 6``   — infeasible: consecutive lines are spread
+  across slices (Intel Xeon E5-2430 case).
+
+:class:`SliceHash` is an XOR-fold hash over the address bits from
+``LS_Hash`` upward, the standard reverse-engineered form [49, 50].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import params
+from repro.errors import ConfigurationError
+
+
+class SliceHash:
+    """XOR-fold slice selector over physical address bits."""
+
+    def __init__(self, num_slices: int, ls_hash: int = 12) -> None:
+        if num_slices <= 0 or num_slices & (num_slices - 1):
+            raise ConfigurationError(
+                f"num_slices must be a power of two: {num_slices}"
+            )
+        if ls_hash < params.LINE_BITS:
+            raise ConfigurationError(
+                f"LS_Hash {ls_hash} below line bits {params.LINE_BITS}"
+            )
+        self.num_slices = num_slices
+        self.ls_hash = ls_hash
+        self._slice_bits = max(num_slices.bit_length() - 1, 1)
+
+    def slice_of(self, addr: int) -> int:
+        """Slice index of ``addr``: XOR-fold of bits [LS_Hash:]."""
+        if self.num_slices == 1:
+            return 0
+        folded = 0
+        bits = addr >> self.ls_hash
+        mask = self.num_slices - 1
+        while bits:
+            folded ^= bits & mask
+            bits >>= self._slice_bits
+        return folded
+
+
+@dataclass(frozen=True)
+class LLCBIAFeasibility:
+    """Answer to "can the BIA live in the LLC on this machine?"."""
+
+    feasible: bool
+    management_bits: int  # the required M (log2 of the DS group size)
+    reason: str
+
+
+def llc_bia_feasibility(ls_hash: int) -> LLCBIAFeasibility:
+    """Apply the Sec. 6.4 case analysis for a given ``LS_Hash``."""
+    if ls_hash < params.LINE_BITS:
+        raise ConfigurationError(
+            f"LS_Hash {ls_hash} below line bits {params.LINE_BITS}"
+        )
+    if ls_hash >= params.PAGE_BITS:
+        return LLCBIAFeasibility(
+            True,
+            params.PAGE_BITS,
+            "LS_Hash >= 12: page-granular DS groups stay within one slice",
+        )
+    if ls_hash > params.LINE_BITS:
+        return LLCBIAFeasibility(
+            True,
+            ls_hash,
+            f"6 < LS_Hash < 12: shrink M to {ls_hash} so DS groups stay "
+            "within one slice",
+        )
+    return LLCBIAFeasibility(
+        False,
+        params.LINE_BITS,
+        "LS_Hash == 6: consecutive lines are spread across slices; "
+        "inter-slice traffic would leak the accessed line",
+    )

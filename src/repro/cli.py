@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run <workload>``
+    Run one Table-2 workload under every scheme and print the
+    overhead table (one Figure-7 row).
+``crypto <cipher>``
+    Same for one Fig.-9 cipher.
+``config``
+    Print the simulated machine configuration (Table 1).
+``schemes`` / ``workloads``
+    List what's available.
+``experiments [target ...]``
+    Regenerate the paper's tables/figures (delegates to
+    :mod:`repro.experiments.__main__`).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.experiments.config import SCHEMES
+from repro.experiments.report import format_bars, format_table
+from repro.experiments.runner import overhead, run_crypto, run_workload
+from repro.workloads import WORKLOADS
+from repro.workloads.crypto import CIPHERS
+
+
+def _cmd_run(args) -> int:
+    workload = WORKLOADS[args.workload]
+    size = args.size or workload.sizes[-1]
+    schemes = args.scheme or ["insecure", "ct", "bia-l1d", "bia-l2"]
+    base = None
+    rows = []
+    for scheme in schemes:
+        result = run_workload(args.workload, size, scheme, seed=args.seed)
+        if base is None:
+            base = result
+        rows.append(
+            (scheme, result.cycles, overhead(result, base))
+        )
+    print(
+        format_table(
+            ["scheme", "cycles", "overhead"],
+            rows,
+            title=f"{workload.label(size)} ({workload.description})",
+        )
+    )
+    if args.bars:
+        print()
+        print(format_bars([(r[0], r[2]) for r in rows], title="overhead"))
+    return 0
+
+
+def _cmd_crypto(args) -> int:
+    base = None
+    rows = []
+    for scheme in args.scheme or ["insecure", "ct", "bia-l1d"]:
+        result = run_crypto(args.cipher, scheme, seed=args.seed)
+        if base is None:
+            base = result
+        rows.append((scheme, result.cycles, overhead(result, base)))
+    print(format_table(["scheme", "cycles", "overhead"], rows, title=args.cipher))
+    return 0
+
+
+def _cmd_config(args) -> int:
+    from repro.experiments.tables import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_schemes(args) -> int:
+    for scheme in SCHEMES:
+        print(scheme)
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    for name, workload in WORKLOADS.items():
+        sizes = ", ".join(str(s) for s in workload.sizes)
+        print(f"{name:15} sizes: {sizes:40} {workload.description}")
+    for cipher in CIPHERS:
+        print(f"crypto:{cipher}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main(args.target)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Hardware Support for Constant-Time "
+        "Programming' (MICRO 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one workload under chosen schemes")
+    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("--size", type=int, default=None)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--scheme", action="append", choices=SCHEMES, default=None
+    )
+    run.add_argument("--bars", action="store_true", help="also draw bars")
+    run.set_defaults(fn=_cmd_run)
+
+    crypto = sub.add_parser("crypto", help="run one Fig.-9 cipher")
+    crypto.add_argument("cipher", choices=sorted(CIPHERS))
+    crypto.add_argument("--seed", type=int, default=1)
+    crypto.add_argument(
+        "--scheme", action="append", choices=SCHEMES, default=None
+    )
+    crypto.set_defaults(fn=_cmd_crypto)
+
+    config = sub.add_parser("config", help="print the Table-1 machine")
+    config.set_defaults(fn=_cmd_config)
+
+    schemes = sub.add_parser("schemes", help="list mitigation schemes")
+    schemes.set_defaults(fn=_cmd_schemes)
+
+    workloads = sub.add_parser("workloads", help="list workloads")
+    workloads.set_defaults(fn=_cmd_workloads)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the paper's tables/figures"
+    )
+    experiments.add_argument("target", nargs="*", default=["all"])
+    experiments.set_defaults(fn=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

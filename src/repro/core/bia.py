@@ -1,0 +1,285 @@
+"""BIA (BItmAp) — the paper's proposed hardware structure (Sec. 4.2).
+
+The BIA is a small set-associative table.  Each entry is tagged with a
+page index and holds two 64-bit bitmaps over the 64 lines of that
+page: *existence* (line valid in the monitored cache) and *dirtiness*
+(line dirty there).  The structure
+
+* is consulted/allocated by CTLoad/CTStore (a BIA miss allocates an
+  entry initialized to all zeros — a deliberate under-approximation,
+  safe because the algorithms treat a zero bit as "must fetch"), and
+* passively monitors the cache it is attached to via the cache's event
+  bus: hits and fills set existence bits, evictions/invalidations clear
+  both bits, dirty-bit transitions update dirtiness.
+
+Monitor updates only touch *already-allocated* entries, and CT-op
+probes never feed back into the bitmaps.  Both restrictions preserve
+the security induction of Sec. 5.3: every source of bitmap mutation is
+either secret-independent cache traffic or zero-initialization, so the
+bitmaps a CT op returns are themselves secret-independent.
+
+Invariant (tested property-based): existence is always a *subset* of
+the true cache contents, and dirtiness a subset of both existence and
+the true dirty lines.  The BIA may under-report (costing performance,
+never correctness or security).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import params
+from repro.cache.events import CacheListener
+from repro.cache.replacement import make_policy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.errors import ConfigurationError
+from repro.memory import address as addr_math
+
+
+@dataclass
+class BIAEntry:
+    """One bitmap entry: a management group's existence/dirtiness bits.
+
+    ``page_idx`` holds the *group* index — a page index under the
+    default M=12 granularity, a smaller-grained group index for the
+    Sec. 6.4 LLC variant.
+    """
+
+    page_idx: int
+    existence: int = 0
+    dirtiness: int = 0
+
+    def set_exist(self, bit: int) -> None:
+        self.existence |= 1 << bit
+
+    def clear_exist(self, bit: int) -> None:
+        self.existence &= ~(1 << bit)
+        self.dirtiness &= ~(1 << bit)
+
+    def set_dirty(self, bit: int) -> None:
+        self.existence |= 1 << bit
+        self.dirtiness |= 1 << bit
+
+    def clear_dirty(self, bit: int) -> None:
+        self.dirtiness &= ~(1 << bit)
+
+
+@dataclass
+class BIAStats:
+    """BIA activity counters."""
+
+    lookups: int = 0
+    hits: int = 0
+    allocations: int = 0
+    evictions: int = 0
+    monitor_updates: int = 0
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.hits = 0
+        self.allocations = 0
+        self.evictions = 0
+        self.monitor_updates = 0
+
+
+class _BIASet:
+    __slots__ = ("ways", "policy", "by_page")
+
+    def __init__(self, assoc: int) -> None:
+        self.ways: List[Optional[BIAEntry]] = [None] * assoc
+        self.policy = make_policy("lru", assoc)
+        self.by_page: Dict[int, int] = {}
+
+
+class BIA(CacheListener):
+    """The bitmap table, attached to one cache level.
+
+    Parameters
+    ----------
+    entries / assoc:
+        Table geometry.  The paper's 1 KiB BIA holds 64 entries of
+        16 bytes of bitmap payload; we default to 64 entries, 8-way.
+    latency:
+        Lookup latency in cycles (Table 1: 1 cycle).
+    group_bits:
+        DS-management granularity ``M``.  12 (page-granular, 64-bit
+        bitmaps) for the L1d/L2 designs; Sec. 6.4's LLC-resident BIA
+        shrinks it to ``LS_Hash`` when ``6 < LS_Hash < 12``, giving
+        ``2**(M-6)``-bit bitmaps.
+    """
+
+    def __init__(
+        self,
+        entries: int = 64,
+        assoc: int = 8,
+        latency: int = 1,
+        group_bits: int = params.PAGE_BITS,
+    ) -> None:
+        if entries <= 0 or assoc <= 0 or latency <= 0:
+            raise ConfigurationError("BIA entries/assoc/latency must be positive")
+        if group_bits <= params.LINE_BITS:
+            raise ConfigurationError(
+                f"BIA group_bits {group_bits} must exceed line bits "
+                f"{params.LINE_BITS}"
+            )
+        if entries % assoc:
+            raise ConfigurationError(
+                f"BIA entries {entries} not divisible by assoc {assoc}"
+            )
+        num_sets = entries // assoc
+        if num_sets & (num_sets - 1):
+            raise ConfigurationError(
+                f"BIA set count {num_sets} is not a power of two"
+            )
+        self.entries = entries
+        self.assoc = assoc
+        self.latency = latency
+        self.group_bits = group_bits
+        self.lines_per_group = 1 << (group_bits - params.LINE_BITS)
+        self.num_sets = num_sets
+        self._sets = [_BIASet(assoc) for _ in range(num_sets)]
+        self.stats = BIAStats()
+        self._monitored: Optional[str] = None
+
+    # -- attachment ------------------------------------------------------------
+
+    def attach(self, cache: SetAssociativeCache) -> None:
+        """Subscribe to ``cache``'s events; the BIA now mirrors it."""
+        cache.events.subscribe(self)
+        self._monitored = cache.name
+
+    @property
+    def monitored_cache(self) -> Optional[str]:
+        return self._monitored
+
+    # -- table access -------------------------------------------------------------
+
+    def _set_of(self, page_idx: int) -> _BIASet:
+        return self._sets[page_idx % self.num_sets]
+
+    def lookup(self, page_idx: int) -> Optional[BIAEntry]:
+        """Pure lookup (monitor path): no allocation, no LRU update."""
+        bset = self._set_of(page_idx)
+        way = bset.by_page.get(page_idx)
+        return None if way is None else bset.ways[way]
+
+    def access(self, page_idx: int) -> BIAEntry:
+        """CT-op lookup: allocate a zeroed entry on miss, update LRU."""
+        bset = self._set_of(page_idx)
+        self.stats.lookups += 1
+        way = bset.by_page.get(page_idx)
+        if way is not None:
+            self.stats.hits += 1
+            bset.policy.on_access(way)
+            return bset.ways[way]
+        victim_way = bset.policy.victim()
+        victim = bset.ways[victim_way]
+        if victim is not None:
+            del bset.by_page[victim.page_idx]
+            self.stats.evictions += 1
+        entry = BIAEntry(page_idx)
+        bset.ways[victim_way] = entry
+        bset.by_page[page_idx] = victim_way
+        bset.policy.on_fill(victim_way)
+        self.stats.allocations += 1
+        return entry
+
+    # -- cache monitor (CacheListener) ------------------------------------------
+
+    def _entry_for_line(self, cache_name: str, line_addr: int):
+        if cache_name != self._monitored:
+            return None, 0
+        group_idx = addr_math.group_index(line_addr, self.group_bits)
+        return (
+            self.lookup(group_idx),
+            addr_math.line_in_group(line_addr, self.group_bits),
+        )
+
+    def on_hit(
+        self,
+        cache_name: str,
+        line_addr: int,
+        dirty: bool,
+        lru_updated: bool = True,
+    ) -> None:
+        if not lru_updated:
+            # Replacement-suppressed hits are secret-dependent accesses;
+            # learning from them would make the bitmaps secret-dependent
+            # and break the Sec. 5.3 induction.  Ignore them.
+            return
+        entry, bit = self._entry_for_line(cache_name, line_addr)
+        if entry is None:
+            return
+        self.stats.monitor_updates += 1
+        entry.set_exist(bit)
+        if dirty:
+            entry.set_dirty(bit)
+        else:
+            entry.clear_dirty(bit)
+
+    def on_fill(self, cache_name: str, line_addr: int, dirty: bool) -> None:
+        entry, bit = self._entry_for_line(cache_name, line_addr)
+        if entry is None:
+            return
+        self.stats.monitor_updates += 1
+        entry.set_exist(bit)
+        if dirty:
+            entry.set_dirty(bit)
+
+    def on_evict(self, cache_name: str, line_addr: int, dirty: bool) -> None:
+        entry, bit = self._entry_for_line(cache_name, line_addr)
+        if entry is None:
+            return
+        self.stats.monitor_updates += 1
+        entry.clear_exist(bit)
+
+    def on_invalidate(self, cache_name: str, line_addr: int) -> None:
+        entry, bit = self._entry_for_line(cache_name, line_addr)
+        if entry is None:
+            return
+        self.stats.monitor_updates += 1
+        entry.clear_exist(bit)
+
+    def on_dirty(self, cache_name: str, line_addr: int) -> None:
+        entry, bit = self._entry_for_line(cache_name, line_addr)
+        if entry is None:
+            return
+        self.stats.monitor_updates += 1
+        entry.set_dirty(bit)
+
+    def on_clean(self, cache_name: str, line_addr: int) -> None:
+        entry, bit = self._entry_for_line(cache_name, line_addr)
+        if entry is None:
+            return
+        self.stats.monitor_updates += 1
+        entry.clear_dirty(bit)
+
+    # -- verification ---------------------------------------------------------------
+
+    def resident_pages(self) -> List[int]:
+        """Page indices of all allocated entries (sorted, for tests)."""
+        out: List[int] = []
+        for bset in self._sets:
+            out.extend(bset.by_page)
+        return sorted(out)
+
+    def check_subset_of(self, cache: SetAssociativeCache) -> bool:
+        """Verify the subset invariant against the true cache contents."""
+        for bset in self._sets:
+            for entry in bset.ways:
+                if entry is None:
+                    continue
+                for bit in range(self.lines_per_group):
+                    mask = 1 << bit
+                    line_addr = (entry.page_idx << self.group_bits) + (
+                        bit << params.LINE_BITS
+                    )
+                    line = cache.lookup(line_addr)
+                    if entry.existence & mask and line is None:
+                        return False
+                    if entry.dirtiness & mask and (
+                        line is None or not line.dirty
+                    ):
+                        return False
+        return True

@@ -1,0 +1,97 @@
+"""CTLoad / CTStore micro-op semantics (paper Sec. 4.1).
+
+Both micro-ops are *non-state-changing* with respect to the cache:
+
+* they perform a tag lookup at the BIA's cache level only — a miss is
+  **not** forwarded to the next level and causes **no** fill;
+* a hit does **not** update the replacement state (the Sec. 3.2 rule
+  that hides them from replacement side channels);
+* CTStore writes only when the line is *already dirty*, so it never
+  creates a new dirty line (and never corrupts memory with the fake
+  data a missed CTLoad returned — the Fig. 6 race cases);
+* alongside the probe, the page's BIA entry is consulted (allocated
+  zero-initialized on a BIA miss) and its existence/dirtiness bitmap
+  returned.
+
+The data path uses the authoritative backing memory: in this simulator
+a resident line's data always equals memory's (see
+:mod:`repro.cache.line`), so "read the word from the cache" is "read
+the word from memory, but only if the line is resident".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro import params
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.bia import BIA
+from repro.memory import address as addr_math
+from repro.memory.backing import MainMemory
+
+
+class CTOps:
+    """Executable CTLoad/CTStore bound to one machine's components."""
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        bia: BIA,
+        memory: MainMemory,
+        bia_level: str,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.bia = bia
+        self.memory = memory
+        self.bia_level = bia_level
+        self._cache = hierarchy.level(bia_level)
+        #: index of the BIA's level; DS accesses in the algorithms must
+        #: start here (bypassing upper levels) for security (Sec. 4.2).
+        self.start_level = hierarchy.level_index(bia_level)
+        #: optional callback(line_addr) recording interconnect traffic
+        #: of CT-op probes (LLC-resident BIA, Sec. 6.4) — a CT op sends
+        #: a request to the target slice even though it changes no
+        #: cache state, so the slice it travels to is observable.
+        self.traffic_hook = None
+
+    def _record_traffic(self, line_addr: int) -> None:
+        if self.traffic_hook is not None:
+            self.traffic_hook(line_addr)
+
+    def ctload(self, addr: int, size: int = params.WORD_SIZE) -> Tuple[int, int, int]:
+        """``CTLoad``: returns ``(data, existence_bitmap, latency)``.
+
+        ``data`` is the requested word if the line is resident at the
+        BIA's level, else the fake value 0.  ``existence_bitmap`` is
+        the 64-bit BIA existence word for ``addr``'s page.
+        """
+        line_addr = addr_math.line_base(addr)
+        line = self._cache.lookup(line_addr)  # pure probe: no state change
+        data = self.memory.read_word(addr, size) if line is not None else 0
+        entry = self.bia.access(
+            addr_math.group_index(addr, self.bia.group_bits)
+        )
+        latency = self._cache.latency + self.bia.latency
+        self._record_traffic(line_addr)
+        return data, entry.existence, latency
+
+    def ctstore(
+        self, addr: int, data: int, size: int = params.WORD_SIZE
+    ) -> Tuple[int, int]:
+        """``CTStore``: returns ``(dirtiness_bitmap, latency)``.
+
+        The write commits only if ``addr``'s line is resident *and
+        dirty* at the BIA's level; otherwise it does nothing (paper:
+        "DO NOTHING").  The line's dirty bit is unchanged either way,
+        so no new observable state is created.
+        """
+        line_addr = addr_math.line_base(addr)
+        line = self._cache.lookup(line_addr)  # pure probe: no state change
+        if line is not None and line.dirty:
+            self.memory.write_word(addr, data, size)
+        entry = self.bia.access(
+            addr_math.group_index(addr, self.bia.group_bits)
+        )
+        latency = self._cache.latency + self.bia.latency
+        self._record_traffic(line_addr)
+        return entry.dirtiness, latency

@@ -1,0 +1,451 @@
+"""The simulated machine: CPU counters + cache hierarchy + BIA + DRAM.
+
+:class:`Machine` is the single object workloads and mitigation
+contexts talk to.  It offers
+
+* a **victim** execution API — ``execute`` (bookkeeping instructions),
+  ``load_word`` / ``store_word`` (normal accesses), ``ctload`` /
+  ``ctstore`` (the paper's micro-ops), and the Sec. 6.5 DRAM-bypass
+  accesses — all of which accumulate into the victim's
+  :class:`~repro.core.stats.MachineStats`;
+* an **attacker** API — loads, flushes and targeted evictions that
+  share the caches but never touch the victim's counters, used by the
+  attack models in :mod:`repro.attacks`;
+* a ``snapshot`` of every counter the experiments need.
+
+Geometry defaults follow Table 1 of the paper:
+
+=============  =======================================
+CPU            in-order cost model (1 cycle/inst)
+L1d cache      64 KiB, 8-way, 2-cycle latency
+L2 cache       1 MiB, 16-way, 15-cycle latency
+LLC            16 MiB, 16-way, 41-cycle latency
+BIA            1 KiB (64 entries), in L1d or L2, 1 cycle
+DRAM           200 cycles, closed-row policy
+=============  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro import params
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.prefetcher import NextLinePrefetcher
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.bia import BIA
+from repro.core.costs import CostModel, DEFAULT_COSTS
+from repro.core.instructions import CTOps
+from repro.core.stats import MachineStats
+from repro.errors import ConfigurationError, ProtocolError
+from repro.memory import address as addr_math
+from repro.memory.backing import Allocator, MainMemory
+from repro.memory.dram import DRAM
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Construction parameters; defaults reproduce the paper's Table 1."""
+
+    l1d_size: int = 64 * 1024
+    l1d_assoc: int = 8
+    l1d_latency: int = 2
+    l2_size: int = 1024 * 1024
+    l2_assoc: int = 16
+    l2_latency: int = 15
+    llc_size: int = 16 * 1024 * 1024
+    llc_assoc: int = 16
+    llc_latency: int = 41
+    dram_latency: int = 200
+    #: "closed" (the paper's constant-time assumption) or "open"
+    #: (row-buffer policy; leaks locality — see repro.memory.dram)
+    dram_policy: str = "closed"
+    bia_entries: int = 64
+    bia_assoc: int = 8
+    bia_latency: int = 1
+    bia_level: str = "L1D"  # "L1D" or "L2" (Sec. 4.2), or "LLC" (Sec. 6.4)
+    replacement: str = "lru"
+    prefetcher: bool = False
+    #: build the L1d as a PLcache (partition-locked; Sec. 6.1 baseline)
+    plcache: bool = False
+    #: enforce LLC inclusivity (back-invalidate private caches on LLC
+    #: evictions) — required by cross-core eviction attacks
+    inclusive_llc: bool = False
+    #: squash stores whose value equals memory (Sec. 2.4's "silent
+    #: stores" concern, which the paper leaves to future work: the
+    #: squashed store does not set the dirty bit, making dirty bits
+    #: VALUE-dependent and breaking constant-time store sweeps — see
+    #: tests/core/test_silent_stores.py for the demonstrated leak)
+    silent_stores: bool = False
+    #: number of LLC slices (>1 enables interconnect-traffic modeling)
+    llc_slices: int = 1
+    #: least significant physical-address bit used by the slice hash
+    ls_hash: int = 12
+    #: override the DS-management granularity M (default: 12 for an
+    #: L1D/L2 BIA; the Sec. 6.4 feasibility rule for an LLC BIA).
+    #: Setting this against the feasibility rule is allowed only for
+    #: leak-demonstration experiments.
+    management_bits: Optional[int] = None
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+
+    def describe(self) -> Dict[str, str]:
+        """Human-readable configuration rows (Table 1 reproduction)."""
+        return {
+            "CPU": f"linear cost model, {self.costs.cpi} cycle/inst",
+            "L1d cache": (
+                f"{self.l1d_size // 1024} KB, {self.l1d_assoc}-way, "
+                f"{self.l1d_latency} cycles latency"
+            ),
+            "L2 cache": (
+                f"{self.l2_size // (1024 * 1024)} MB, {self.l2_assoc}-way, "
+                f"{self.l2_latency} cycles latency"
+            ),
+            "Last Level cache": (
+                f"{self.llc_size // (1024 * 1024)} MB, {self.llc_assoc}-way, "
+                f"{self.llc_latency} cycles latency"
+            ),
+            "BIA": (
+                f"in {self.bia_level} cache, "
+                f"{self.bia_entries * 16 // 1024} KB, "
+                f"{self.bia_latency} cycle latency"
+            ),
+            "DRAM": f"{self.dram_latency} cycles latency, closed-row policy",
+        }
+
+
+class Machine:
+    """One simulated core with victim and attacker actors."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config = config or MachineConfig()
+        self.costs = config.costs
+        self.memory = MainMemory()
+        self.allocator = Allocator(self.memory)
+        self.dram = DRAM(
+            latency=config.dram_latency, policy=config.dram_policy
+        )
+        l1d_class = SetAssociativeCache
+        if config.plcache:
+            from repro.cache.plcache import PartitionLockedCache
+
+            l1d_class = PartitionLockedCache
+        self.l1d = l1d_class(
+            "L1D",
+            config.l1d_size,
+            config.l1d_assoc,
+            config.l1d_latency,
+            replacement=config.replacement,
+        )
+        self.l2 = SetAssociativeCache(
+            "L2",
+            config.l2_size,
+            config.l2_assoc,
+            config.l2_latency,
+            replacement=config.replacement,
+        )
+        self.llc = SetAssociativeCache(
+            "LLC",
+            config.llc_size,
+            config.llc_assoc,
+            config.llc_latency,
+            replacement=config.replacement,
+        )
+        prefetcher = NextLinePrefetcher() if config.prefetcher else None
+        self.hierarchy = CacheHierarchy(
+            [self.l1d, self.l2, self.llc], self.dram, prefetcher
+        )
+        self.management_bits = self._resolve_management_bits(config)
+        self.bia = BIA(
+            entries=config.bia_entries,
+            assoc=config.bia_assoc,
+            latency=config.bia_latency,
+            group_bits=self.management_bits,
+        )
+        bia_cache = self.hierarchy.level(config.bia_level)
+        self.bia.attach(bia_cache)
+        self.ctops = CTOps(
+            self.hierarchy, self.bia, self.memory, config.bia_level
+        )
+        #: LLC slice hash + per-run interconnect trace (Sec. 6.4);
+        #: populated only when the machine models a sliced LLC.
+        self.slice_hash = None
+        self.slice_trace: list = []
+        if config.llc_slices > 1:
+            from repro.cache.slices import SliceHash
+
+            self.slice_hash = SliceHash(config.llc_slices, config.ls_hash)
+            if config.bia_level == "LLC":
+                self.ctops.traffic_hook = self._record_slice
+        #: inclusive-LLC back-invalidator (None when non-inclusive);
+        #: RemoteCore registers its private caches here too.
+        self.back_invalidator = None
+        if config.inclusive_llc:
+            from repro.core.multicore import BackInvalidator
+
+            self.back_invalidator = BackInvalidator()
+            self.back_invalidator.register(self.l1d)
+            self.back_invalidator.register(self.l2)
+            self.llc.events.subscribe(self.back_invalidator)
+        #: Sec. 6.2 mode bit: when True, raw CTLoad/CTStore are
+        #: rejected unless executing inside a macro-op (microcode).
+        self.user_mode = False
+        self._microcode_depth = 0
+        self.stats = MachineStats()
+
+    def microcode(self):
+        """Context manager marking privileged macro-op execution."""
+        return _MicrocodeScope(self)
+
+    @staticmethod
+    def _resolve_management_bits(config: "MachineConfig") -> int:
+        """Pick the DS-management granularity M (Sec. 6.4 rules)."""
+        if config.management_bits is not None:
+            return config.management_bits
+        if config.bia_level == "LLC":
+            from repro.cache.slices import llc_bia_feasibility
+
+            feasibility = llc_bia_feasibility(config.ls_hash)
+            if not feasibility.feasible:
+                raise ConfigurationError(
+                    f"LLC-resident BIA infeasible: {feasibility.reason}"
+                )
+            return feasibility.management_bits
+        return params.PAGE_BITS
+
+    def _record_slice(self, line_addr: int) -> None:
+        self.slice_trace.append(self.slice_hash.slice_of(line_addr))
+
+    def _record_llc_traffic(self, line_addr: int, hit_level) -> None:
+        """Log interconnect traffic of demand accesses that travelled
+        to the LLC (L1/L2 misses or LLC-start accesses)."""
+        if self.slice_hash is not None and hit_level in ("LLC", None):
+            self.slice_trace.append(self.slice_hash.slice_of(line_addr))
+
+    # -- victim: bookkeeping ---------------------------------------------------------
+
+    def execute(self, n_insts: int) -> None:
+        """Account ``n_insts`` non-memory instructions of victim work."""
+        if n_insts < 0:
+            raise ConfigurationError(f"negative instruction count {n_insts}")
+        self.stats.insts += n_insts
+        self.stats.l1i_refs += n_insts
+        self.stats.cycles += n_insts * self.costs.cpi
+
+    # -- victim: normal memory ops ------------------------------------------------------
+
+    def load_word(
+        self,
+        addr: int,
+        size: int = params.WORD_SIZE,
+        secret_dependent: bool = False,
+        start_level: int = 0,
+    ) -> int:
+        """Ordinary load.  ``secret_dependent=True`` skips the LRU update
+        (Sec. 3.2's replacement-side-channel rule)."""
+        line_addr = addr_math.line_base(addr)
+        result = self.hierarchy.read_line(
+            line_addr,
+            start_level=start_level,
+            update_replacement=not secret_dependent,
+        )
+        self._record_llc_traffic(line_addr, result.hit_level)
+        self.stats.loads += 1
+        self.stats.l1d_refs += 1
+        self.stats.insts += 1
+        self.stats.l1i_refs += 1
+        self.stats.cycles += result.latency
+        return self.memory.read_word(addr, size)
+
+    def store_word(
+        self,
+        addr: int,
+        value: int,
+        size: int = params.WORD_SIZE,
+        secret_dependent: bool = False,
+        start_level: int = 0,
+    ) -> None:
+        """Ordinary write-allocate store.
+
+        With ``silent_stores`` enabled, a store of the value already in
+        memory is squashed after the read: the line is fetched but its
+        dirty bit is NOT set — hardware behaviour whose security
+        consequences Sec. 2.4 flags and defers.
+        """
+        line_addr = addr_math.line_base(addr)
+        if self.config.silent_stores and self.memory.read_word(
+            addr, size
+        ) == value % (1 << (8 * size)):
+            result = self.hierarchy.read_line(
+                line_addr,
+                start_level=start_level,
+                update_replacement=not secret_dependent,
+            )
+            self._record_llc_traffic(line_addr, result.hit_level)
+            self.stats.stores += 1
+            self.stats.l1d_refs += 1
+            self.stats.insts += 1
+            self.stats.l1i_refs += 1
+            self.stats.cycles += result.latency
+            return
+        result = self.hierarchy.write_line(
+            line_addr,
+            start_level=start_level,
+            update_replacement=not secret_dependent,
+        )
+        self._record_llc_traffic(line_addr, result.hit_level)
+        self.memory.write_word(addr, value, size)
+        self.stats.stores += 1
+        self.stats.l1d_refs += 1
+        self.stats.insts += 1
+        self.stats.l1i_refs += 1
+        self.stats.cycles += result.latency
+
+    def charge_memory(self, n_accesses: int, latency_each: float) -> None:
+        """Account ``n_accesses`` data accesses without touching the caches.
+
+        Used for access sequences that provably repeat an
+        already-simulated pattern (identical cache-state effect), so
+        only the counters need to move — e.g. the 2nd..k-th sweeps of
+        a software-CT gather.  Each access also costs one instruction.
+        """
+        if n_accesses < 0:
+            raise ConfigurationError(f"negative access count {n_accesses}")
+        self.stats.loads += n_accesses
+        self.stats.l1d_refs += n_accesses
+        self.stats.insts += n_accesses
+        self.stats.l1i_refs += n_accesses
+        # Like load_word, a memory instruction's cycle cost IS its
+        # latency; no separate cpi charge.
+        self.stats.cycles += n_accesses * latency_each
+
+    # -- victim: Sec. 6.5 DRAM bypass ---------------------------------------------------
+
+    def load_word_uncached(self, addr: int, size: int = params.WORD_SIZE) -> int:
+        """Load straight from DRAM with no cache state change."""
+        result = self.hierarchy.read_line_uncached(addr_math.line_base(addr))
+        self.stats.loads += 1
+        self.stats.l1d_refs += 1
+        self.stats.insts += 1
+        self.stats.l1i_refs += 1
+        self.stats.cycles += result.latency
+        return self.memory.read_word(addr, size)
+
+    def store_word_uncached(
+        self, addr: int, value: int, size: int = params.WORD_SIZE
+    ) -> None:
+        """Store straight to DRAM with no cache state change."""
+        result = self.hierarchy.write_line_uncached(addr_math.line_base(addr))
+        self.memory.write_word(addr, value, size)
+        self.stats.stores += 1
+        self.stats.l1d_refs += 1
+        self.stats.insts += 1
+        self.stats.l1i_refs += 1
+        self.stats.cycles += result.latency
+
+    # -- victim: CT micro-ops -------------------------------------------------------------
+
+    def _check_ct_privilege(self, op: str) -> None:
+        if self.user_mode and self._microcode_depth == 0:
+            raise ProtocolError(
+                f"{op} is a privileged micro-op in user mode; use the "
+                "macro-operations (repro.core.macro_ops.MacroOpUnit) — "
+                "raw bitmap access is hidden from users (Sec. 6.2)"
+            )
+
+    def ctload(self, addr: int, size: int = params.WORD_SIZE):
+        """Execute CTLoad; returns ``(data, existence_bitmap)``."""
+        self._check_ct_privilege("CTLoad")
+        data, existence, latency = self.ctops.ctload(addr, size)
+        self.stats.ct_loads += 1
+        self.stats.l1d_refs += 1
+        self.stats.insts += 1
+        self.stats.l1i_refs += 1
+        self.stats.cycles += latency
+        return data, existence
+
+    def ctstore(self, addr: int, value: int, size: int = params.WORD_SIZE) -> int:
+        """Execute CTStore; returns the dirtiness bitmap."""
+        self._check_ct_privilege("CTStore")
+        dirtiness, latency = self.ctops.ctstore(addr, value, size)
+        self.stats.ct_stores += 1
+        self.stats.l1d_refs += 1
+        self.stats.insts += 1
+        self.stats.l1i_refs += 1
+        self.stats.cycles += latency
+        return dirtiness
+
+    @property
+    def ds_start_level(self) -> int:
+        """Level index DS accesses must start at (bypass above the BIA)."""
+        return self.ctops.start_level
+
+    # -- attacker actor ---------------------------------------------------------------------
+
+    def attacker_load(self, addr: int, start_level: int = 0) -> int:
+        """Attacker access sharing the caches; returns its latency.
+
+        Not counted in the victim's statistics; the latency is what a
+        Prime+Probe attacker times.
+        """
+        result = self.hierarchy.read_line(
+            addr_math.line_base(addr),
+            start_level=start_level,
+            observable=False,
+        )
+        return result.latency
+
+    def attacker_flush(self, addr: int) -> None:
+        """clflush from the attacker (Flush+Reload primitive)."""
+        self.hierarchy.flush_line(addr_math.line_base(addr))
+
+    def attacker_evict(self, level: str, addr: int) -> bool:
+        """Targeted eviction of one line at one level.
+
+        Models the effect of an attacker priming the conflicting set
+        without simulating its whole working set.
+        """
+        return self.hierarchy.evict_line_from(level, addr_math.line_base(addr))
+
+    # -- bookkeeping ----------------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero all counters (cache contents are preserved)."""
+        self.stats.reset()
+        self.hierarchy.reset_stats()
+        self.bia.stats.reset()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of every counter the experiment harness consumes."""
+        snap: Dict[str, float] = dict(self.stats.as_dict())
+        for cache in self.hierarchy.levels:
+            snap[f"{cache.name.lower()}_hits"] = cache.stats.hits
+            snap[f"{cache.name.lower()}_misses"] = cache.stats.misses
+        snap["dram_reads"] = self.dram.stats.reads
+        snap["dram_writes"] = self.dram.stats.writes
+        snap["dram_accesses"] = self.dram.stats.accesses
+        snap["llc_miss_total"] = self.llc.stats.misses
+        snap["bia_lookups"] = self.bia.stats.lookups
+        return snap
+
+
+def build_machine(
+    bia_level: str = "L1D", config: Optional[MachineConfig] = None, **overrides
+) -> Machine:
+    """Convenience factory: Table-1 machine with the BIA at ``bia_level``."""
+    if config is None:
+        config = MachineConfig(bia_level=bia_level, **overrides)
+    return Machine(config)
+
+
+class _MicrocodeScope:
+    """Re-entrant privilege scope for macro-op execution."""
+
+    def __init__(self, machine: Machine) -> None:
+        self._machine = machine
+
+    def __enter__(self) -> None:
+        self._machine._microcode_depth += 1
+
+    def __exit__(self, *exc) -> None:
+        self._machine._microcode_depth -= 1

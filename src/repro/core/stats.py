@@ -1,0 +1,57 @@
+"""Execution counters for the simulated machine.
+
+These are the quantities the paper reports:
+
+* ``insts``       — executed instructions (Fig. 8 "insts num"),
+* ``l1i_refs``    — instruction-cache references; our straight-line
+  fetch model charges one per instruction, matching how cachegrind's
+  "L1i ref" scales in the Sec. 3.1 motivation table,
+* ``l1d_refs``    — data-cache port references, including CTLoad /
+  CTStore probes (they occupy the port like any access),
+* ``cycles``      — latency-weighted execution time,
+* load/store/CT-op breakdowns for the analysis in Fig. 8.
+
+DRAM and per-level cache counters live with their components; the
+machine's :meth:`~repro.core.machine.Machine.snapshot` merges all of
+them into one flat dict for the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MachineStats:
+    """Mutable counters for one actor's execution."""
+
+    insts: int = 0
+    l1i_refs: int = 0
+    l1d_refs: int = 0
+    loads: int = 0
+    stores: int = 0
+    ct_loads: int = 0
+    ct_stores: int = 0
+    cycles: float = 0.0
+
+    def reset(self) -> None:
+        self.insts = 0
+        self.l1i_refs = 0
+        self.l1d_refs = 0
+        self.loads = 0
+        self.stores = 0
+        self.ct_loads = 0
+        self.ct_stores = 0
+        self.cycles = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "insts": self.insts,
+            "l1i_refs": self.l1i_refs,
+            "l1d_refs": self.l1d_refs,
+            "loads": self.loads,
+            "stores": self.stores,
+            "ct_loads": self.ct_loads,
+            "ct_stores": self.ct_stores,
+            "cycles": self.cycles,
+        }

@@ -1,0 +1,55 @@
+"""Control-flow linearization helpers (paper Sec. 2.3, rule i).
+
+Constant-time programming's first rule forbids branching on secrets.
+The standard transformation executes *both* sides of a
+secret-dependent branch and merges results with a predicated select
+(``cmov``).  Workloads use these helpers for their secret-dependent
+control flow; each helper charges the instructions the equivalent
+branchless x86-64 sequence would execute, so the insecure baselines
+and the mitigated versions are costed consistently.
+
+These helpers implement branch *linearization* only; the data-flow
+rule (no secret-dependent addresses) is the mitigation contexts' job.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.machine import Machine
+
+
+def ct_select(machine: "Machine", pred: bool, if_true: int, if_false: int) -> int:
+    """Branchless ``pred ? if_true : if_false`` (one cmov)."""
+    machine.execute(1)
+    return if_true if pred else if_false
+
+
+def ct_eq(machine: "Machine", a: int, b: int) -> bool:
+    """Branchless equality predicate (cmp + sete)."""
+    machine.execute(2)
+    return a == b
+
+
+def ct_lt(machine: "Machine", a: int, b: int) -> bool:
+    """Branchless less-than predicate (cmp + setl)."""
+    machine.execute(2)
+    return a < b
+
+
+def ct_min(machine: "Machine", a: int, b: int) -> int:
+    """Branchless minimum (cmp + cmov)."""
+    machine.execute(2)
+    return a if a < b else b
+
+
+def ct_abs(machine: "Machine", v: int) -> int:
+    """Branchless absolute value (the classic sign-mask trick)."""
+    machine.execute(3)
+    return -v if v < 0 else v
+
+
+def ct_merge(machine: "Machine", taken: bool, then_val: int, else_val: int) -> int:
+    """The paper's ``Merge(secret, A, B)``: combine both executed paths."""
+    return ct_select(machine, taken, then_val, else_val)

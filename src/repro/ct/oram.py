@@ -1,0 +1,253 @@
+"""Path ORAM mitigation — the Raccoon [34] baseline (paper Sec. 8).
+
+Raccoon closes digital side channels by placing secret data in an
+Oblivious RAM: every access reads and rewrites a whole root-to-leaf
+path of a bucket tree, and blocks are remapped to fresh random leaves
+on every touch, so the *distribution* of the physical access pattern
+is independent of the logical one.  The paper's related-work point is
+that this "introduces significant runtime overheads" compared to both
+software CT and the BIA — which the ablation benchmark quantifies.
+
+This is a functional Path ORAM (Stefanov et al. [39]) over the
+simulated machine:
+
+* the bucket tree lives in simulated memory (one line per block slot;
+  every slot of every bucket on the path is read and written per
+  access, real traffic through the cache hierarchy);
+* the position map and stash are client-side state (as in Raccoon,
+  where they live in protected registers/memory); their maintenance
+  cost is charged as instructions, including a per-slot
+  encrypt/decrypt charge (:data:`CRYPTO_INSTS_PER_SLOT`) — the
+  dominant constant in Raccoon's measured overheads;
+* block payloads are mirrored client-side for bookkeeping; the
+  simulated traffic (which lines, in which order) is exactly the
+  protocol's.
+
+Security note: Path ORAM's guarantee is *distributional* — two runs
+with different secrets produce differently-valued but identically
+distributed path sequences.  The library's trace-equivalence checker
+(which demands determinism) therefore reports ORAM as "leaking";
+``tests/ct/test_oram.py`` instead verifies the distributional
+property (uniform leaf choice, fixed per-access traffic shape).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro import params
+from repro.core.machine import Machine
+from repro.ct.context import MitigationContext
+from repro.ct.ds import DataflowLinearizationSet
+from repro.errors import ConfigurationError, ProtocolError
+
+#: blocks per bucket (the standard Z=4)
+BUCKET_SIZE = 4
+
+#: words per ORAM block (one cache line)
+WORDS_PER_BLOCK = params.WORDS_PER_LINE
+
+#: modelled AES-CTR cost of decrypting/re-encrypting one block slot
+CRYPTO_INSTS_PER_SLOT = 40
+
+#: client-side bookkeeping per access (position map, stash scan)
+CLIENT_INSTS_PER_ACCESS = 30
+
+
+class PathORAM:
+    """One Path ORAM instance holding ``num_blocks`` line-sized blocks."""
+
+    def __init__(
+        self, machine: Machine, num_blocks: int, seed: int = 0
+    ) -> None:
+        if num_blocks <= 0:
+            raise ConfigurationError(f"num_blocks must be positive: {num_blocks}")
+        self.machine = machine
+        self.num_blocks = num_blocks
+        self.height = max((num_blocks - 1).bit_length(), 1)  # leaf level L
+        self.num_leaves = 1 << self.height
+        self.num_buckets = 2 * self.num_leaves - 1
+        self._rng = random.Random(seed)
+        # Server storage: one line per (bucket, slot).
+        self.tree_base = machine.allocator.alloc(
+            self.num_buckets * BUCKET_SIZE * params.LINE_SIZE, "oram_tree"
+        )
+        # Client state.
+        self.position: List[int] = [
+            self._rng.randrange(self.num_leaves) for _ in range(num_blocks)
+        ]
+        self.stash: Dict[int, List[int]] = {}
+        # bucket occupancy: bucket index -> {slot: block_id}
+        self._buckets: Dict[int, Dict[int, int]] = {}
+        self._data: Dict[int, List[int]] = {
+            b: [0] * WORDS_PER_BLOCK for b in range(num_blocks)
+        }
+        self.accesses = 0
+
+    # -- tree geometry ---------------------------------------------------------
+
+    def _path(self, leaf: int) -> List[int]:
+        """Bucket indices from the root down to ``leaf``."""
+        node = leaf + self.num_leaves - 1  # heap index of the leaf
+        path = []
+        while True:
+            path.append(node)
+            if node == 0:
+                break
+            node = (node - 1) // 2
+        return list(reversed(path))
+
+    def _slot_addr(self, bucket: int, slot: int) -> int:
+        return self.tree_base + (bucket * BUCKET_SIZE + slot) * params.LINE_SIZE
+
+    def _on_path(self, leaf: int, bucket: int) -> bool:
+        node = leaf + self.num_leaves - 1
+        while node >= bucket:
+            if node == bucket:
+                return True
+            if node == 0:
+                break
+            node = (node - 1) // 2
+        return False
+
+    # -- the protocol ------------------------------------------------------------
+
+    def access(
+        self,
+        block_id: int,
+        write_words: Optional[List[int]] = None,
+        mutate=None,
+    ) -> List[int]:
+        """One ORAM access: read+write the block's whole path.
+
+        ``write_words`` replaces the block; ``mutate(words) -> words``
+        edits it in place during the access (the client modifies the
+        decrypted block before re-encryption) — both are single-access
+        read-modify-writes, as in the real protocol.  Returns the
+        block's *pre-modification* contents.
+        """
+        if not 0 <= block_id < self.num_blocks:
+            raise ProtocolError(f"ORAM block {block_id} out of range")
+        machine = self.machine
+        self.accesses += 1
+        machine.execute(CLIENT_INSTS_PER_ACCESS)
+
+        leaf = self.position[block_id]
+        self.position[block_id] = self._rng.randrange(self.num_leaves)
+        path = self._path(leaf)
+
+        # Read every slot of every bucket on the path into the stash.
+        for bucket in path:
+            occupants = self._buckets.pop(bucket, {})
+            for slot in range(BUCKET_SIZE):
+                machine.execute(CRYPTO_INSTS_PER_SLOT)
+                machine.load_word(self._slot_addr(bucket, slot))
+                resident = occupants.get(slot)
+                if resident is not None:
+                    self.stash[resident] = self._data[resident]
+
+        # Serve the request from the stash.
+        self.stash.setdefault(block_id, self._data[block_id])
+        result = list(self._data[block_id])
+        new_words = write_words
+        if mutate is not None:
+            new_words = mutate(list(result))
+        if new_words is not None:
+            if len(new_words) != WORDS_PER_BLOCK:
+                raise ProtocolError(
+                    f"block write needs {WORDS_PER_BLOCK} words"
+                )
+            self._data[block_id] = list(new_words)
+            self.stash[block_id] = self._data[block_id]
+
+        # Write the path back, leaf-first, greedily draining the stash.
+        for bucket in reversed(path):
+            placed: Dict[int, int] = {}
+            for candidate in list(self.stash):
+                if len(placed) == BUCKET_SIZE:
+                    break
+                if self._on_path(self.position[candidate], bucket):
+                    placed[len(placed)] = candidate
+                    del self.stash[candidate]
+            self._buckets[bucket] = placed
+            for slot in range(BUCKET_SIZE):
+                machine.execute(CRYPTO_INSTS_PER_SLOT)
+                machine.store_word(
+                    self._slot_addr(bucket, slot),
+                    self._data[placed[slot]][0] if slot in placed else 0,
+                )
+        return result
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    def stash_size(self) -> int:
+        return len(self.stash)
+
+    def lines_per_access(self) -> int:
+        """Fixed traffic shape: (L+1) buckets x Z slots, read + write."""
+        return 2 * (self.height + 1) * BUCKET_SIZE
+
+
+class ORAMContext(MitigationContext):
+    """Raccoon-style mitigation: every secret access through Path ORAM."""
+
+    name = "oram"
+
+    def __init__(self, machine: Machine, seed: int = 0) -> None:
+        super().__init__(machine)
+        self._seed = seed
+        self._orams: Dict[int, PathORAM] = {}  # ds base -> oram
+        self._bases: Dict[int, int] = {}
+
+    def register_ds(self, base, size_bytes, name=""):
+        ds = super().register_ds(base, size_bytes, name)
+        num_blocks = max(len(ds.lines), 1)
+        oram = PathORAM(self.machine, num_blocks, seed=self._seed)
+        # Move the array's current contents into the ORAM.
+        for i, line in enumerate(ds.lines):
+            words = [
+                self.machine.memory.read_word(line + 4 * w)
+                for w in range(WORDS_PER_BLOCK)
+            ]
+            oram._data[i] = words
+        self._orams[ds.lines[0]] = oram
+        self._bases[ds.lines[0]] = ds.lines[0]
+        ds._oram_key = ds.lines[0]  # cached handle
+        return ds
+
+    def _locate(self, ds: DataflowLinearizationSet, addr: int):
+        key = getattr(ds, "_oram_key", None)
+        if key is None or key not in self._orams:
+            raise ProtocolError(
+                f"DS {ds.name!r} was not registered with this ORAM context"
+            )
+        oram = self._orams[key]
+        offset = addr - key
+        block, word = divmod(offset, params.LINE_SIZE)
+        return oram, block, word // params.WORD_SIZE
+
+    def load(self, ds: DataflowLinearizationSet, addr: int) -> int:
+        ds.require_member(addr)
+        oram, block, word = self._locate(ds, addr)
+        return oram.access(block)[word]
+
+    def store(self, ds: DataflowLinearizationSet, addr: int, value: int) -> None:
+        ds.require_member(addr)
+        oram, block, word = self._locate(ds, addr)
+
+        def mutate(words, w=word, v=value & 0xFFFFFFFF):
+            words[w] = v
+            return words
+
+        oram.access(block, mutate=mutate)
+
+    def rmw(self, ds: DataflowLinearizationSet, addr: int, fn) -> int:
+        ds.require_member(addr)
+        oram, block, word = self._locate(ds, addr)
+
+        def mutate(words, w=word):
+            words[w] = fn(words[w]) & 0xFFFFFFFF
+            return words
+
+        return oram.access(block, mutate=mutate)[word]

@@ -1,0 +1,100 @@
+"""PLcache+preload mitigation context (paper Sec. 6.1's comparison point).
+
+Preloads every line of a dataflow linearization set into the (PLcache)
+L1d and pins it there; secret-dependent accesses are then ordinary
+loads/stores that always hit — a single access per operation, the best
+possible performance.
+
+The paper rejects this design for two measurable reasons this context
+deliberately preserves:
+
+* its hits update LRU state and its stores set per-line dirty bits, so
+  the access pattern is replayed by replacement/write-back behaviour
+  once the lines are unpinned ("does not mitigate information leakage
+  from dirty bits and LRU bits");
+* pinning shrinks the cache for everyone else ("does not provide the
+  same level of fairness of service").
+
+Requires a machine built with ``MachineConfig(plcache=True)``.
+"""
+
+from __future__ import annotations
+
+from repro import params
+from repro.cache.plcache import PartitionLockedCache
+from repro.core.machine import Machine
+from repro.ct.context import MitigationContext
+from repro.ct.ds import DataflowLinearizationSet
+from repro.errors import ConfigurationError
+from repro.memory import address as addr_math
+
+
+class PLCachePreloadContext(MitigationContext):
+    """Preload-and-lock mitigation over a partition-locked L1d."""
+
+    name = "plcache"
+
+    #: instructions charged per preloaded line (load + lock uop)
+    PRELOAD_INSTS_PER_LINE = 2
+
+    def __init__(self, machine: Machine) -> None:
+        super().__init__(machine)
+        if not isinstance(machine.l1d, PartitionLockedCache):
+            raise ConfigurationError(
+                "PLCachePreloadContext needs MachineConfig(plcache=True)"
+            )
+        self.l1d: PartitionLockedCache = machine.l1d
+        #: lines that could not be pinned (set conflicts); they will
+        #: miss later — the capacity pathology of large pinned regions
+        self.unpinned_lines = set()
+
+    def register_ds(self, base, size_bytes, name=""):
+        """Register a DS and immediately preload + lock all its lines."""
+        ds = super().register_ds(base, size_bytes, name)
+        self.pin(ds)
+        return ds
+
+    def pin(self, ds: DataflowLinearizationSet) -> int:
+        """Preload and lock every DS line; returns the pinned count."""
+        machine = self.machine
+        pinned = 0
+        for line in ds.lines:
+            machine.execute(self.PRELOAD_INSTS_PER_LINE)
+            machine.load_word(line)
+            if self.l1d.lock(line):
+                pinned += 1
+            else:  # the fill was refused (set fully locked already)
+                self.unpinned_lines.add(line)
+        return pinned
+
+    def unpin(self, ds: DataflowLinearizationSet) -> int:
+        """Release the DS's locks (the moment the paper's leak fires)."""
+        released = 0
+        for line in ds.lines:
+            if self.l1d.unlock(line):
+                released += 1
+        return released
+
+    # -- secret-dependent accesses: plain (and therefore leaky) ops ----------------
+
+    def load(self, ds: DataflowLinearizationSet, addr: int) -> int:
+        ds.require_member(addr)
+        # A pinned line always hits; the hit's LRU update is the leak.
+        return self.machine.load_word(addr)
+
+    def store(self, ds: DataflowLinearizationSet, addr: int, value: int) -> None:
+        ds.require_member(addr)
+        # The store dirties exactly the secret's line: the dirty-bit leak.
+        self.machine.store_word(addr, value)
+
+    # -- diagnostics ------------------------------------------------------------------
+
+    def pinned_bytes(self) -> int:
+        """Cache capacity currently withheld from other processes."""
+        return len(self.l1d.locked_lines()) * params.LINE_SIZE
+
+    def miss_exposure(self, ds: DataflowLinearizationSet) -> int:
+        """DS lines that failed to pin and can therefore miss (leak!)."""
+        return sum(
+            1 for line in ds.lines if addr_math.line_base(line) in self.unpinned_lines
+        )

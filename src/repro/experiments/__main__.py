@@ -1,0 +1,78 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments [target ...]
+
+Targets: ``table1``, ``motivation``, ``fig2``, ``fig7``, ``fig8``,
+``fig9``, ``fig10``, ``headline``, or ``all`` (default).  Full paper
+sweeps take a few minutes; each target prints as it completes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import figures, tables
+from repro.experiments.figures import headline_reduction
+from repro.experiments.report import format_table
+
+
+def _headline() -> str:
+    data = headline_reduction()
+    rows = [(name, ratio) for name, ratio in data.items()]
+    return format_table(
+        ["workload", "CT / L1d-BIA overhead reduction (geomean)"],
+        rows,
+        title="Headline: overhead reduction vs state-of-the-art CT",
+    )
+
+
+def _fig7_all() -> str:
+    return "\n\n".join(
+        figures.render_figure7(name)
+        for name in ("dijkstra", "histogram", "permutation", "binary_search", "heappop")
+    )
+
+
+def _json_export() -> str:
+    from repro.experiments.export import export_json
+
+    path = "experiment_results.json"
+    export_json(path)
+    return f"wrote {path}"
+
+
+TARGETS = {
+    "table1": tables.render_table1,
+    "motivation": tables.render_motivation_profile,
+    "fig2": figures.render_figure2,
+    "fig7": _fig7_all,
+    "fig8": figures.render_figure8,
+    "fig9": figures.render_figure9,
+    "fig10": figures.render_figure10,
+    "headline": _headline,
+    "json": _json_export,
+}
+
+
+def main(argv) -> int:
+    names = [a for a in argv if not a.startswith("-")] or ["all"]
+    if names == ["all"]:
+        # `json` re-runs every sweep and writes a file; request it
+        # explicitly (python -m repro.experiments json).
+        names = [n for n in TARGETS if n != "json"]
+    unknown = [n for n in names if n not in TARGETS]
+    if unknown:
+        print(f"unknown targets: {unknown}; choices: {sorted(TARGETS)} or all")
+        return 2
+    for name in names:
+        start = time.time()
+        print(TARGETS[name]())
+        print(f"[{name} done in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,81 @@
+"""Experiment configuration: Table-1 presets and scheme factories.
+
+A *scheme* is a named (machine, mitigation-context) recipe:
+
+==============  ============================================================
+``insecure``    unmitigated baseline (the denominator of every figure)
+``ct``          software constant-time programming with avx2-style sweeps
+                (Constantine [9] — the state of the art the paper compares
+                against)
+``ct-scalar``   the scalar sweep (Figure 2's second curve)
+``bia-l1d``     the paper's proposal, BIA attached to the L1d cache
+``bia-l2``      the paper's proposal, BIA attached to the L2 cache
+``bia-llc``     Sec. 6.4: BIA in a sliced LLC (Skylake-X-like LS_Hash=12)
+==============  ============================================================
+
+Every experiment builds a *fresh* machine per run so that runs are
+independent and comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.costs import CostModel
+from repro.core.machine import Machine, MachineConfig
+from repro.ct.bia_ops import BIAContext
+from repro.ct.context import InsecureContext, MitigationContext
+from repro.ct.linearize import SoftwareCTContext
+from repro.errors import ConfigurationError
+
+#: Scheme names in the order figures print them.
+SCHEMES = ("insecure", "ct", "ct-scalar", "bia-l1d", "bia-l2", "bia-llc")
+
+#: The three series of Figure 7, in the paper's legend order.
+FIG7_SCHEMES = ("bia-l1d", "bia-l2", "ct")
+
+
+def default_config(bia_level: str = "L1D", **overrides) -> MachineConfig:
+    """The paper's Table-1 machine."""
+    return MachineConfig(bia_level=bia_level, **overrides)
+
+
+def build_context(
+    scheme: str,
+    config: Optional[MachineConfig] = None,
+    costs: Optional[CostModel] = None,
+    fetch_threshold: Optional[int] = None,
+) -> MitigationContext:
+    """Build a fresh machine + mitigation context for ``scheme``."""
+    kwargs = {}
+    if costs is not None:
+        kwargs["costs"] = costs
+    if scheme == "insecure":
+        machine = Machine(config or default_config(**kwargs))
+        return InsecureContext(machine)
+    if scheme == "ct":
+        machine = Machine(config or default_config(**kwargs))
+        return SoftwareCTContext(machine, simd=True)
+    if scheme == "ct-scalar":
+        machine = Machine(config or default_config(**kwargs))
+        return SoftwareCTContext(machine, simd=False)
+    if scheme == "bia-l1d":
+        machine = Machine(config or default_config("L1D", **kwargs))
+        return BIAContext(machine, fetch_threshold=fetch_threshold)
+    if scheme == "bia-l2":
+        machine = Machine(config or default_config("L2", **kwargs))
+        return BIAContext(machine, fetch_threshold=fetch_threshold)
+    if scheme == "bia-llc":
+        # Sec. 6.4: Skylake-X-like sliced LLC (LS_Hash = 12, M = 12)
+        machine = Machine(
+            config or default_config("LLC", llc_slices=8, ls_hash=12, **kwargs)
+        )
+        return BIAContext(machine, fetch_threshold=fetch_threshold)
+    raise ConfigurationError(
+        f"unknown scheme {scheme!r}; choices: {SCHEMES}"
+    )
+
+
+def context_factories() -> Dict[str, Callable[[], MitigationContext]]:
+    """Zero-argument factories for each scheme (test convenience)."""
+    return {name: (lambda n=name: build_context(n)) for name in SCHEMES}

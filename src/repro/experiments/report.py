@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Monospace table with column alignment."""
+    str_rows: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_bars(
+    series: "Sequence[tuple]", width: int = 44, title: str = ""
+) -> str:
+    """ASCII bar chart: one ``(label, value)`` bar per row.
+
+    The figures in the paper are bar charts; this renders the same
+    data in a terminal.  Bars scale to the maximum value; each row
+    shows the numeric value after the bar.
+    """
+    rows = [(str(label), float(value)) for label, value in series]
+    lines = []
+    if title:
+        lines.append(title)
+    if not rows:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(label) for label, _ in rows)
+    peak = max(value for _, value in rows) or 1.0
+    for label, value in rows:
+        bar = "#" * max(int(round(width * value / peak)), 1 if value > 0 else 0)
+        lines.append(f"{label.ljust(label_width)} | {bar} {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 100:
+            return f"{cell:,.0f}"
+        return f"{cell:.2f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)

@@ -1,0 +1,47 @@
+"""Mini-Constantine: IR, taint analysis, automatic CT transformation."""
+
+from repro.lang.executor import Executor, run_program
+from repro.lang.ir import (
+    OPS,
+    ArrayDecl,
+    BinOp,
+    Const,
+    For,
+    If,
+    Load,
+    Program,
+    Select,
+    Store,
+)
+from repro.lang.programs import (
+    conditional_sum_program,
+    demo_inputs,
+    histogram_program,
+    lookup_program,
+    swap_program,
+)
+from repro.lang.pretty import dump
+from repro.lang.taint import TaintReport, analyze
+
+__all__ = [
+    "ArrayDecl",
+    "BinOp",
+    "Const",
+    "Executor",
+    "For",
+    "If",
+    "Load",
+    "OPS",
+    "Program",
+    "Select",
+    "Store",
+    "TaintReport",
+    "analyze",
+    "conditional_sum_program",
+    "demo_inputs",
+    "dump",
+    "histogram_program",
+    "lookup_program",
+    "run_program",
+    "swap_program",
+]

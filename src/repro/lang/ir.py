@@ -1,0 +1,175 @@
+"""A tiny IR for secret-carrying programs.
+
+The paper integrates its instructions into Constantine [9], an LLVM
+pass that *automatically* transforms programs into constant-time form.
+This package reproduces that toolchain layer in miniature: programs
+are written in a small structured IR, a taint analysis
+(:mod:`repro.lang.taint`) finds secret-dependent branches and
+accesses, and the executor (:mod:`repro.lang.executor`) runs the
+program either natively (insecure) or transformed — control-flow
+linearization for tainted branches, data-flow linearization through a
+mitigation context for tainted accesses — with no change to the
+program text.
+
+IR shape
+--------
+
+A :class:`Program` declares scalar *inputs* (each public or secret),
+word *arrays* (initial contents supplied at run time), a ``body`` of
+statements, and named *outputs*.  Operands are register names
+(strings) or integer literals.  Statements:
+
+=================  ====================================================
+``Const(d, v)``     d = v
+``BinOp(d,op,a,b)`` d = a <op> b   (arith/logic/compare; see OPS)
+``Select(d,c,a,b)`` d = c ? a : b  (branchless by construction)
+``Load(d,arr,i)``   d = arr[i]
+``Store(arr,i,v)``  arr[i] = v
+``If(c,then,else)`` structured branch (linearized when c is secret)
+``For(v,n,body)``   v = 0..n-1     (n must be public — a secret trip
+                    count is a termination channel and is rejected)
+=================  ====================================================
+
+The IR is deliberately side-effect-structured (no goto) so that
+control-flow linearization is a local transformation, exactly the
+subset Constantine's region-based linearization handles best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+from repro.errors import ConfigurationError
+
+Operand = Union[str, int]
+
+#: op name -> (function, instruction cost in ALU ops)
+OPS = {
+    "add": (lambda a, b: a + b, 1),
+    "sub": (lambda a, b: a - b, 1),
+    "mul": (lambda a, b: a * b, 3),
+    "div": (lambda a, b: a // b if b else 0, 24),
+    "mod": (lambda a, b: a % b if b else 0, 24),
+    "and": (lambda a, b: a & b, 1),
+    "or": (lambda a, b: a | b, 1),
+    "xor": (lambda a, b: a ^ b, 1),
+    "shl": (lambda a, b: a << b, 1),
+    "shr": (lambda a, b: a >> b, 1),
+    "lt": (lambda a, b: int(a < b), 1),
+    "le": (lambda a, b: int(a <= b), 1),
+    "gt": (lambda a, b: int(a > b), 1),
+    "ge": (lambda a, b: int(a >= b), 1),
+    "eq": (lambda a, b: int(a == b), 1),
+    "ne": (lambda a, b: int(a != b), 1),
+}
+
+
+@dataclass(frozen=True)
+class Const:
+    dst: str
+    value: int
+
+
+@dataclass(frozen=True)
+class BinOp:
+    dst: str
+    op: str
+    a: Operand
+    b: Operand
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ConfigurationError(
+                f"unknown op {self.op!r}; choices: {sorted(OPS)}"
+            )
+
+
+@dataclass(frozen=True)
+class Select:
+    dst: str
+    cond: Operand
+    if_true: Operand
+    if_false: Operand
+
+
+@dataclass(frozen=True)
+class Load:
+    dst: str
+    array: str
+    index: Operand
+
+
+@dataclass(frozen=True)
+class Store:
+    array: str
+    index: Operand
+    value: Operand
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Operand
+    then_body: Tuple = ()
+    else_body: Tuple = ()
+
+
+@dataclass(frozen=True)
+class For:
+    var: str
+    count: Operand
+    body: Tuple = ()
+
+
+Statement = Union[Const, BinOp, Select, Load, Store, If, For]
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A word array; ``secret`` marks its *contents* as secret."""
+
+    name: str
+    size: int
+    secret: bool = False
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ConfigurationError(f"array {self.name!r} size {self.size}")
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete IR program."""
+
+    name: str
+    inputs: Tuple[str, ...] = ()
+    secret_inputs: Tuple[str, ...] = ()
+    arrays: Tuple[ArrayDecl, ...] = ()
+    body: Tuple = ()
+    outputs: Tuple[str, ...] = ()
+    output_arrays: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self):
+        names = [a.name for a in self.arrays]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate array names in {self.name!r}")
+        overlap = set(self.inputs) & set(self.secret_inputs)
+        if overlap:
+            raise ConfigurationError(
+                f"inputs {sorted(overlap)} declared both public and secret"
+            )
+        unknown = set(self.output_arrays) - set(names)
+        if unknown:
+            raise ConfigurationError(
+                f"output arrays {sorted(unknown)} not declared"
+            )
+
+    def array(self, name: str) -> ArrayDecl:
+        for decl in self.arrays:
+            if decl.name == name:
+                return decl
+        raise ConfigurationError(f"no array named {name!r}")
+
+    @property
+    def all_inputs(self) -> Tuple[str, ...]:
+        return self.inputs + self.secret_inputs

@@ -1,0 +1,104 @@
+"""IR pretty-printer, optionally annotated with taint-analysis results.
+
+``dump(program)`` renders the IR as readable pseudo-code;
+``dump(program, report=analyze(program))`` marks what the toolchain
+will transform: ``!`` on secret registers, ``[linearize]`` on secret
+branches, ``[DS: name]`` on secret-indexed accesses.  Used by the
+mini-compiler example and handy when writing new IR programs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ir
+from repro.lang.taint import TaintReport
+
+_INDENT = "    "
+
+
+def _operand(report: Optional[TaintReport], operand: ir.Operand) -> str:
+    if isinstance(operand, int):
+        return str(operand)
+    if report is not None and operand in report.tainted_regs:
+        return f"{operand}!"
+    return operand
+
+
+def _stmt_lines(
+    stmt, report: Optional[TaintReport], depth: int
+) -> List[str]:
+    pad = _INDENT * depth
+    fmt = lambda x: _operand(report, x)  # noqa: E731 - local shorthand
+    if isinstance(stmt, ir.Const):
+        return [f"{pad}{fmt(stmt.dst)} = {stmt.value}"]
+    if isinstance(stmt, ir.BinOp):
+        return [f"{pad}{fmt(stmt.dst)} = {fmt(stmt.a)} {stmt.op} {fmt(stmt.b)}"]
+    if isinstance(stmt, ir.Select):
+        return [
+            f"{pad}{fmt(stmt.dst)} = {fmt(stmt.cond)} ? "
+            f"{fmt(stmt.if_true)} : {fmt(stmt.if_false)}"
+        ]
+    if isinstance(stmt, ir.Load):
+        tag = ""
+        if report is not None and stmt.array in report.secret_indexed_arrays:
+            tag = f"  [DS: {stmt.array}]"
+        return [f"{pad}{fmt(stmt.dst)} = {stmt.array}[{fmt(stmt.index)}]{tag}"]
+    if isinstance(stmt, ir.Store):
+        tag = ""
+        if report is not None and stmt.array in report.secret_indexed_arrays:
+            tag = f"  [DS: {stmt.array}]"
+        return [
+            f"{pad}{stmt.array}[{fmt(stmt.index)}] = {fmt(stmt.value)}{tag}"
+        ]
+    if isinstance(stmt, ir.If):
+        tag = ""
+        if report is not None and report.is_secret_branch(stmt):
+            tag = "  [linearize]"
+        lines = [f"{pad}if {fmt(stmt.cond)}:{tag}"]
+        for inner in stmt.then_body or ((),):
+            if inner == ():
+                lines.append(f"{pad}{_INDENT}pass")
+            else:
+                lines.extend(_stmt_lines(inner, report, depth + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}else:")
+            for inner in stmt.else_body:
+                lines.extend(_stmt_lines(inner, report, depth + 1))
+        return lines
+    if isinstance(stmt, ir.For):
+        lines = [f"{pad}for {stmt.var} in range({fmt(stmt.count)}):"]
+        for inner in stmt.body or ():
+            lines.extend(_stmt_lines(inner, report, depth + 1))
+        if not stmt.body:
+            lines.append(f"{pad}{_INDENT}pass")
+        return lines
+    return [f"{pad}<unknown {stmt!r}>"]
+
+
+def dump(program: ir.Program, report: Optional[TaintReport] = None) -> str:
+    """Render a program (optionally taint-annotated) as pseudo-code."""
+    lines = [f"program {program.name}:"]
+    if program.inputs:
+        lines.append(f"{_INDENT}inputs : {', '.join(program.inputs)}")
+    if program.secret_inputs:
+        secrets = ", ".join(f"{name}!" for name in program.secret_inputs)
+        lines.append(f"{_INDENT}secrets: {secrets}")
+    for decl in program.arrays:
+        mark = "!" if decl.secret else ""
+        extra = ""
+        if report is not None and decl.name in report.tainted_arrays:
+            extra = "  (contents tainted)"
+        lines.append(
+            f"{_INDENT}array  : {decl.name}{mark}[{decl.size}]{extra}"
+        )
+    lines.append(f"{_INDENT}body:")
+    for stmt in program.body:
+        lines.extend(_stmt_lines(stmt, report, 2))
+    if program.outputs:
+        lines.append(f"{_INDENT}return {', '.join(program.outputs)}")
+    if program.output_arrays:
+        lines.append(
+            f"{_INDENT}return arrays {', '.join(program.output_arrays)}"
+        )
+    return "\n".join(lines)

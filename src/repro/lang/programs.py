@@ -1,0 +1,173 @@
+"""Ready-made IR programs (used by tests, docs, and the demo example).
+
+Each builder returns a :class:`~repro.lang.ir.Program` plus a pure
+Python ``reference`` implementing the same function, so correctness of
+the transformation can be checked end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.lang.ir import (
+    ArrayDecl,
+    BinOp,
+    Const,
+    For,
+    If,
+    Load,
+    Program,
+    Store,
+)
+
+
+def lookup_program(size: int) -> Tuple[Program, Callable]:
+    """``out = table[key % size]`` — the canonical secret-indexed load."""
+    program = Program(
+        name="lookup",
+        secret_inputs=("key",),
+        arrays=(ArrayDecl("table", size),),
+        body=(
+            BinOp("t", "mod", "key", size),
+            Load("out", "table", "t"),
+        ),
+        outputs=("out",),
+    )
+
+    def reference(inputs: Dict[str, int], arrays) -> Dict[str, object]:
+        return {"out": arrays["table"][inputs["key"] % size]}
+
+    return program, reference
+
+
+def histogram_program(bins: int, n: int) -> Tuple[Program, Callable]:
+    """The paper's running example with a secret branch folded in.
+
+    For each secret value: a secret-dependent *branch* chooses the bin
+    formula, then a secret-indexed *read-modify-write* bumps the bin —
+    exercising both linearizations at once.
+    """
+    program = Program(
+        name="histogram",
+        arrays=(
+            ArrayDecl("data", n, secret=True),
+            ArrayDecl("out", bins),
+        ),
+        body=(
+            For(
+                "i",
+                n,
+                (
+                    Load("v", "data", "i"),
+                    BinOp("big", "ge", "v", bins),
+                    If(
+                        "big",
+                        then_body=(BinOp("t", "mod", "v", bins),),
+                        else_body=(Const("t0", 3), BinOp("t", "mul", "v", 1)),
+                    ),
+                    BinOp("t", "mod", "t", bins),
+                    Load("cur", "out", "t"),
+                    BinOp("cur", "add", "cur", 1),
+                    Store("out", "t", "cur"),
+                ),
+            ),
+        ),
+        output_arrays=("out",),
+    )
+
+    def reference(inputs: Dict[str, int], arrays) -> Dict[str, object]:
+        out = [0] * bins
+        for v in arrays["data"]:
+            t = (v % bins) if v >= bins else v
+            out[t % bins] += 1
+        return {"out": out}
+
+    return program, reference
+
+
+def conditional_sum_program(n: int) -> Tuple[Program, Callable]:
+    """Sum the secret values above a secret threshold (pure CFL demo)."""
+    program = Program(
+        name="conditional_sum",
+        secret_inputs=("limit",),
+        arrays=(ArrayDecl("data", n, secret=True),),
+        body=(
+            Const("acc", 0),
+            For(
+                "i",
+                n,
+                (
+                    Load("v", "data", "i"),
+                    BinOp("take", "gt", "v", "limit"),
+                    If(
+                        "take",
+                        then_body=(BinOp("acc", "add", "acc", "v"),),
+                        else_body=(),
+                    ),
+                ),
+            ),
+        ),
+        outputs=("acc",),
+    )
+
+    def reference(inputs: Dict[str, int], arrays) -> Dict[str, object]:
+        return {
+            "acc": sum(v for v in arrays["data"] if v > inputs["limit"])
+            & 0xFFFFFFFF
+        }
+
+    return program, reference
+
+
+def swap_program(size: int) -> Tuple[Program, Callable]:
+    """Secret-indexed swap: ``a[i], a[j] = a[j], a[i]`` (i, j secret).
+
+    The RC4-style primitive: two secret loads and two secret stores.
+    """
+    program = Program(
+        name="swap",
+        secret_inputs=("i", "j"),
+        arrays=(ArrayDecl("a", size),),
+        body=(
+            BinOp("i", "mod", "i", size),
+            BinOp("j", "mod", "j", size),
+            Load("x", "a", "i"),
+            Load("y", "a", "j"),
+            Store("a", "i", "y"),
+            Store("a", "j", "x"),
+        ),
+        output_arrays=("a",),
+    )
+
+    def reference(inputs: Dict[str, int], arrays) -> Dict[str, object]:
+        a = list(arrays["a"])
+        i, j = inputs["i"] % size, inputs["j"] % size
+        a[i], a[j] = a[j], a[i]
+        return {"a": a}
+
+    return program, reference
+
+
+def demo_inputs(
+    program_name: str, size: int, seed: int
+) -> Tuple[Dict[str, int], Dict[str, List[int]]]:
+    """Deterministic inputs for the builders above (test convenience)."""
+    import random
+
+    rng = random.Random(7_919 * seed + size)
+    if program_name == "lookup":
+        return {"key": rng.randrange(1 << 16)}, {
+            "table": [rng.randrange(1 << 20) for _ in range(size)]
+        }
+    if program_name == "histogram":
+        return {}, {"data": [rng.randrange(4 * size) for _ in range(size)]}
+    if program_name == "conditional_sum":
+        return {"limit": rng.randrange(1 << 10)}, {
+            "data": [rng.randrange(1 << 11) for _ in range(size)]
+        }
+    if program_name == "swap":
+        return (
+            {"i": rng.randrange(1 << 16), "j": rng.randrange(1 << 16)},
+            {"a": [rng.randrange(1 << 20) for _ in range(size)]},
+        )
+    raise ValueError(program_name)

@@ -1,0 +1,148 @@
+"""Static taint analysis over the IR (the "find the secrets" pass).
+
+Constantine's pipeline starts by propagating secret taint from
+annotated inputs through the program to find (i) branches whose
+condition is secret (need control-flow linearization) and (ii) memory
+accesses whose *address* is secret (need data-flow linearization, with
+the accessed object as the dataflow linearization set).  This module
+is that pass for the mini-IR.
+
+Rules (to a fixpoint, so loop-carried taint converges):
+
+* an op/select output is tainted iff any operand is;
+* loading from a *secret-contents* array taints the destination;
+  loading from any array with a tainted index taints it too (the value
+  read depends on the secret index);
+* storing a tainted value into an array taints the array's contents
+  (from then on, conservatively, for the whole program);
+* inside a secret-``If``, every register and array written is tainted
+  (the implicit flow: which side executed is secret);
+* a ``For`` trip count must be untainted — a secret trip count is a
+  termination/timing channel no linearization below fixes — else
+  :class:`~repro.errors.ProtocolError`.
+
+Results: sets of tainted registers and arrays, plus the *program
+points* needing mitigation: secret branches and secret-indexed
+accesses (with their DS arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.lang import ir
+
+
+@dataclass
+class TaintReport:
+    """Result of the analysis."""
+
+    tainted_regs: Set[str] = field(default_factory=set)
+    tainted_arrays: Set[str] = field(default_factory=set)
+    #: ``If`` statements (by identity) whose condition is secret
+    secret_branches: Set[int] = field(default_factory=set)
+    #: (array name) of every access with a secret index
+    secret_indexed_arrays: Set[str] = field(default_factory=set)
+
+    def is_secret_branch(self, stmt: ir.If) -> bool:
+        return id(stmt) in self.secret_branches
+
+
+class _Analyzer:
+    def __init__(self, program: ir.Program, strict: bool = True) -> None:
+        self.program = program
+        self.strict = strict
+        self.report = TaintReport()
+        self.report.tainted_regs.update(program.secret_inputs)
+        self.report.tainted_arrays.update(
+            decl.name for decl in program.arrays if decl.secret
+        )
+        self._changed = True
+
+    # -- helpers -------------------------------------------------------------
+
+    def _tainted(self, operand: ir.Operand) -> bool:
+        return isinstance(operand, str) and operand in self.report.tainted_regs
+
+    def _taint_reg(self, reg: str) -> None:
+        if reg not in self.report.tainted_regs:
+            self.report.tainted_regs.add(reg)
+            self._changed = True
+
+    def _taint_array(self, name: str) -> None:
+        if name not in self.report.tainted_arrays:
+            self.report.tainted_arrays.add(name)
+            self._changed = True
+
+    # -- the pass ------------------------------------------------------------
+
+    def run(self) -> TaintReport:
+        while self._changed:
+            self._changed = False
+            self._walk(self.program.body, under_secret=False)
+        return self.report
+
+    def _walk(self, body: Tuple, under_secret: bool) -> None:
+        for stmt in body:
+            self._visit(stmt, under_secret)
+
+    def _visit(self, stmt, under_secret: bool) -> None:
+        if isinstance(stmt, ir.Const):
+            if under_secret:
+                self._taint_reg(stmt.dst)
+        elif isinstance(stmt, ir.BinOp):
+            if under_secret or self._tainted(stmt.a) or self._tainted(stmt.b):
+                self._taint_reg(stmt.dst)
+        elif isinstance(stmt, ir.Select):
+            if under_secret or any(
+                self._tainted(x) for x in (stmt.cond, stmt.if_true, stmt.if_false)
+            ):
+                self._taint_reg(stmt.dst)
+        elif isinstance(stmt, ir.Load):
+            index_secret = under_secret or self._tainted(stmt.index)
+            if index_secret:
+                self.report.secret_indexed_arrays.add(stmt.array)
+            if (
+                index_secret
+                or stmt.array in self.report.tainted_arrays
+            ):
+                self._taint_reg(stmt.dst)
+        elif isinstance(stmt, ir.Store):
+            index_secret = under_secret or self._tainted(stmt.index)
+            if index_secret:
+                self.report.secret_indexed_arrays.add(stmt.array)
+            if index_secret or self._tainted(stmt.value) or under_secret:
+                self._taint_array(stmt.array)
+        elif isinstance(stmt, ir.If):
+            cond_secret = under_secret or self._tainted(stmt.cond)
+            if cond_secret:
+                self.report.secret_branches.add(id(stmt))
+            self._walk(stmt.then_body, under_secret or cond_secret)
+            self._walk(stmt.else_body, under_secret or cond_secret)
+        elif isinstance(stmt, ir.For):
+            if self.strict and self._tainted(stmt.count):
+                raise ProtocolError(
+                    f"loop over {stmt.var!r} has a SECRET trip count "
+                    f"({stmt.count!r}): a termination channel that "
+                    "constant-time transformation cannot repair"
+                )
+            if self.strict and under_secret:
+                raise ProtocolError(
+                    f"loop over {stmt.var!r} inside a secret branch: "
+                    "the trip count would become secret-dependent"
+                )
+            self._walk(stmt.body, under_secret)
+        else:  # pragma: no cover - exhaustive over the IR
+            raise ProtocolError(f"unknown statement {stmt!r}")
+
+
+def analyze(program: ir.Program, strict: bool = True) -> TaintReport:
+    """Run the taint analysis to a fixpoint.
+
+    ``strict=False`` skips the secret-trip-count rejections (used when
+    executing a program natively, where nothing is transformed and the
+    check would only block the insecure baseline).
+    """
+    return _Analyzer(program, strict=strict).run()

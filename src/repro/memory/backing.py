@@ -1,0 +1,126 @@
+"""Flat backing memory and a bump allocator.
+
+:class:`MainMemory` is the ground-truth storage behind the cache
+hierarchy.  It is byte-addressable and sparse (page-granular ``dict``
+of ``bytearray``), so workloads can allocate arrays at page-aligned
+addresses far apart without paying for the gap.
+
+:class:`Allocator` hands out page-aligned regions, mirroring how the
+benchmark programs ``malloc`` their arrays; page alignment matters
+because the BIA manages existence/dirtiness at page granularity and
+the algorithms group dataflow linearization sets by page index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro import params
+from repro.errors import AllocationError, MemoryError_
+from repro.memory import address as addr_math
+
+
+class MainMemory:
+    """Sparse byte-addressable main memory.
+
+    Pages are materialised lazily on first write; reads of untouched
+    memory return zero bytes, like freshly mapped anonymous pages.
+    """
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    # -- raw byte interface -------------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at ``addr``."""
+        if size < 0:
+            raise MemoryError_(f"negative read size {size}")
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            a = addr + pos
+            page = self._pages.get(addr_math.page_index(a))
+            off = addr_math.page_offset(a)
+            chunk = min(size - pos, params.PAGE_SIZE - off)
+            if page is not None:
+                out[pos : pos + chunk] = page[off : off + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` starting at ``addr``."""
+        pos = 0
+        size = len(data)
+        while pos < size:
+            a = addr + pos
+            idx = addr_math.page_index(a)
+            page = self._pages.get(idx)
+            if page is None:
+                page = self._pages[idx] = bytearray(params.PAGE_SIZE)
+            off = addr_math.page_offset(a)
+            chunk = min(size - pos, params.PAGE_SIZE - off)
+            page[off : off + chunk] = data[pos : pos + chunk]
+            pos += chunk
+
+    # -- typed word interface ----------------------------------------------
+
+    def read_word(self, addr: int, size: int = params.WORD_SIZE) -> int:
+        """Read an unsigned little-endian integer of ``size`` bytes."""
+        addr_math.check_aligned(addr, size)
+        return int.from_bytes(self.read(addr, size), "little")
+
+    def write_word(
+        self, addr: int, value: int, size: int = params.WORD_SIZE
+    ) -> None:
+        """Write an unsigned little-endian integer of ``size`` bytes."""
+        addr_math.check_aligned(addr, size)
+        self.write(addr, (value % (1 << (8 * size))).to_bytes(size, "little"))
+
+    def read_line(self, line_addr: int) -> bytes:
+        """Read the whole 64-byte line starting at ``line_addr``."""
+        addr_math.check_aligned(line_addr, params.LINE_SIZE)
+        return self.read(line_addr, params.LINE_SIZE)
+
+    def write_line(self, line_addr: int, data: bytes) -> None:
+        """Write a whole 64-byte line (used by cache write-back)."""
+        addr_math.check_aligned(line_addr, params.LINE_SIZE)
+        if len(data) != params.LINE_SIZE:
+            raise MemoryError_(
+                f"line write of {len(data)} bytes (expected {params.LINE_SIZE})"
+            )
+        self.write(line_addr, data)
+
+    # -- introspection ------------------------------------------------------
+
+    def touched_pages(self) -> Iterable[int]:
+        """Indices of pages that have been written at least once."""
+        return self._pages.keys()
+
+
+class Allocator:
+    """Page-aligned bump allocator over a :class:`MainMemory`.
+
+    The base address defaults to ``0x10000`` so that address 0 (the
+    ``data = 0`` sentinel CTLoad returns on a miss) never aliases a
+    real allocation.
+    """
+
+    def __init__(self, memory: MainMemory, base: int = 0x10000) -> None:
+        if base % params.PAGE_SIZE:
+            raise AllocationError(f"allocator base {base:#x} not page aligned")
+        self.memory = memory
+        self._next = base
+
+    def alloc(self, size: int, name: str = "") -> int:
+        """Reserve ``size`` bytes; returns the page-aligned base address."""
+        if size <= 0:
+            raise AllocationError(f"allocation of {size} bytes ({name!r})")
+        base = self._next
+        pages = -(-size // params.PAGE_SIZE)
+        self._next += pages * params.PAGE_SIZE
+        return base
+
+    def alloc_words(self, count: int, name: str = "") -> int:
+        """Reserve an array of ``count`` 4-byte words."""
+        return self.alloc(count * params.WORD_SIZE, name)

@@ -1,0 +1,45 @@
+"""Architectural constants shared across the whole simulator.
+
+The paper (Sec. 4.1) fixes the geometry this library models:
+
+* cache lines are 64 bytes (the attack granularity, Sec. 2.4), and
+* the dataflow-linearization-set management granularity ``M`` is the
+  page size, 4096 bytes, i.e. 64 lines per page, so a single BIA entry
+  holds one 64-bit existence bitmap and one 64-bit dirtiness bitmap.
+
+Everything that needs line/page arithmetic imports these constants so
+that a hypothetical re-parameterisation (e.g. Sec. 6.4's ``M =
+LS_Hash`` variant) only has to override them in one place: the
+functions in :mod:`repro.memory.address` all accept explicit
+``line_size``/``page_size`` overrides, defaulting to these values.
+"""
+
+from __future__ import annotations
+
+#: Size of one cache line in bytes (attack granularity; paper Sec. 2.4).
+LINE_SIZE = 64
+
+#: log2(LINE_SIZE); number of offset bits within a line.
+LINE_BITS = 6
+
+#: Size of one page in bytes (DS management granularity M = 12).
+PAGE_SIZE = 4096
+
+#: log2(PAGE_SIZE); number of offset bits within a page.
+PAGE_BITS = 12
+
+#: Number of cache lines per page = PAGE_SIZE / LINE_SIZE.
+LINES_PER_PAGE = PAGE_SIZE // LINE_SIZE
+
+#: Bitmask over the 64 lines of a page with every bit set.
+FULL_PAGE_MASK = (1 << LINES_PER_PAGE) - 1
+
+#: Word size used by the workloads (C ``int``), in bytes.
+WORD_SIZE = 4
+
+#: Words per cache line.
+WORDS_PER_LINE = LINE_SIZE // WORD_SIZE
+
+assert LINE_SIZE == 1 << LINE_BITS
+assert PAGE_SIZE == 1 << PAGE_BITS
+assert LINES_PER_PAGE == 64, "paper's BIA entries are 64-bit bitmaps"

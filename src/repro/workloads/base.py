@@ -1,0 +1,51 @@
+"""Workload protocol shared by every benchmark program.
+
+A workload is a function ``run(ctx, size, seed)`` that
+
+* allocates its arrays on ``ctx.machine``,
+* generates its secret input deterministically from ``seed``,
+* performs all *secret-dependent* accesses through ``ctx`` (so the
+  mitigation can be swapped), public accesses via ``ctx.plain_*``,
+  and ALU work via ``ctx.execute``,
+* returns a functional result (the tests compare results across
+  contexts: every mitigation must compute exactly what the insecure
+  version computes).
+
+``reference(size, seed)`` is a pure-Python golden model with no
+simulator involvement, used as ground truth.
+
+The registry at :data:`repro.workloads.WORKLOADS` maps names to
+:class:`Workload` descriptors carrying the paper's size sweeps
+(Fig. 7) and the ``dij_32`` / ``hist_1k`` style labels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+from repro.ct.context import MitigationContext
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Descriptor binding a benchmark program to its size sweep."""
+
+    name: str
+    label_prefix: str
+    sizes: Tuple[int, ...]
+    run: Callable[[MitigationContext, int, int], Any]
+    reference: Callable[[int, int], Any]
+    description: str = ""
+
+    def label(self, size: int) -> str:
+        """Paper-style label, e.g. ``dij_128`` or ``hist_2k``."""
+        if size >= 1000 and size % 1000 == 0:
+            return f"{self.label_prefix}_{size // 1000}k"
+        return f"{self.label_prefix}_{size}"
+
+
+def make_rng(size: int, seed: int) -> random.Random:
+    """Deterministic per-(size, seed) input generator."""
+    return random.Random(1_000_003 * seed + size)

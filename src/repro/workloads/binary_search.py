@@ -1,0 +1,95 @@
+"""Binary search (Fig. 7d; Table 2).
+
+Searching a sorted array for secret keys: the probe sequence
+``a[mid]`` depends on the comparison outcomes, so "accesses to
+elements in the array leak the comparison trace" (Table 2) and the DS
+of the probe is the whole array.
+
+The constant-time formulation is the classic branchless
+power-of-two-stride search: a *fixed* number ceil(log2(n)) of probes,
+each a secret-dependent load through the mitigation context, with the
+position updated by a predicated move.  The insecure version runs the
+same loop shape (so instruction counts are comparable) but issues its
+probes as ordinary loads, leaking the probe addresses.
+
+:data:`N_SEARCHES` keys are searched per run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro import params
+from repro.ct import cfl
+from repro.ct.context import MitigationContext
+from repro.workloads.base import make_rng
+
+#: Keys searched per run (simulation-budget knob).
+N_SEARCHES = 14
+
+#: Leading searches are warm-up (counters reset afterwards; see
+#: :mod:`repro.workloads.histogram` for the rationale).
+N_WARMUP = 2
+
+#: ALU work per probe step (stride halving, clamp, compare).
+STEP_INSTS = 5
+
+
+def generate_input(size: int, seed: int) -> Tuple[List[int], List[int]]:
+    """Sorted array of distinct values + the secret keys to search."""
+    rng = make_rng(size, seed)
+    array = sorted(rng.sample(range(8 * size), size))
+    keys = [rng.choice(array) for _ in range(N_SEARCHES // 2)]
+    keys += [rng.randint(0, 8 * size) for _ in range(N_SEARCHES - len(keys))]
+    return array, keys
+
+
+def _ct_search(ctx: MitigationContext, ds, base: int, n: int, key: int) -> int:
+    """Branchless search: returns the index of the rightmost element
+    <= key, or -1 (represented as position 0 check) if none."""
+    machine = ctx.machine
+    pos = 0
+    step = 1
+    while step * 2 <= n:
+        step *= 2
+    first = ctx.load(ds, base)
+    found_any = first <= key
+    while step >= 1:
+        ctx.execute(STEP_INSTS)
+        probe = pos + step
+        probe = probe if probe < n else n - 1  # clamped, still in DS
+        v = ctx.load(ds, base + 4 * probe)
+        take = v <= key
+        pos = cfl.ct_select(machine, take, probe, pos)
+        step //= 2
+    return pos if found_any else -1
+
+
+def run(ctx: MitigationContext, size: int, seed: int) -> List[int]:
+    """Search each key; returns rightmost index with a[i] <= key (-1 if none)."""
+    machine = ctx.machine
+    array, keys = generate_input(size, seed)
+    base = machine.allocator.alloc_words(size, "array")
+    # The program loads its sorted data (warms the DS uniformly).
+    for i, v in enumerate(array):
+        ctx.plain_store(base + 4 * i, v)
+    ds = ctx.register_ds(base, size * params.WORD_SIZE, "array")
+
+    results = []
+    for k, key in enumerate(keys):
+        if k == N_WARMUP:
+            machine.reset_stats()
+        results.append(_ct_search(ctx, ds, base, size, key))
+    return results
+
+
+def reference(size: int, seed: int) -> List[int]:
+    """Golden model via bisect semantics."""
+    import bisect
+
+    array, keys = generate_input(size, seed)
+    out = []
+    for key in keys:
+        idx = bisect.bisect_right(array, key) - 1
+        out.append(idx if idx >= 0 else -1)
+    return out

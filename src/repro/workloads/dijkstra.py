@@ -1,0 +1,126 @@
+"""Dijkstra single-source shortest paths (Fig. 7a; Table 2).
+
+The classic O(V^2) formulation over a dense weight matrix.  The secret
+is the graph itself (the weights): in every iteration the algorithm
+selects the unvisited vertex ``u`` with minimum tentative distance and
+relaxes its outgoing edges.  Leakage (Table 2): "access to the
+not-yet-selected vertex with minimum distance ... leaks graph
+structure"; the DS of the row access is the whole V*V matrix, O(V^2).
+
+Secret-dependent accesses per iteration:
+
+* ``dist[u]``      — load with DS = the ``dist`` array,
+* ``visited[u]``   — store with DS = the ``visited`` array,
+* ``adj[u][:]``    — a V-word row gather with DS = the whole matrix
+  (a code generator emits one linearization pass for the row read;
+  both mitigations batch it through ``ctx.gather``).
+
+The min-scan over ``dist``/``visited`` reads *all* vertices at public
+addresses (only the comparison outcomes are secret, handled
+branchlessly), so it needs no linearization — in the insecure version
+too, matching the original benchmark's structure.
+
+Sizes: V in {32, 64, 96, 128}; at V=128 the 64 KiB matrix equals the
+L1d capacity, the paper's L1d-BIA self-eviction case (Sec. 7.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import params
+from repro.ct import cfl
+from repro.ct.context import MitigationContext
+from repro.workloads.base import make_rng
+
+#: "Infinite" distance (fits a u32 after any number of relaxations).
+INF = 1 << 28
+
+#: ALU work per min-scan candidate (visited check + compare + cmov).
+SCAN_INSTS = 3
+
+#: ALU work per relaxation (add + compare + cmov).
+RELAX_INSTS = 4
+
+
+def generate_weights(size: int, seed: int) -> List[List[int]]:
+    """Secret dense weight matrix, weights in [1, 100]."""
+    rng = make_rng(size, seed)
+    return [
+        [0 if i == j else rng.randint(1, 100) for j in range(size)]
+        for i in range(size)
+    ]
+
+
+def run(ctx: MitigationContext, size: int, seed: int) -> List[int]:
+    """Dijkstra from vertex 0 on a ``size``-vertex dense graph."""
+    machine = ctx.machine
+    weights = generate_weights(size, seed)
+    adj_base = machine.allocator.alloc_words(size * size, "adj")
+    dist_base = machine.allocator.alloc_words(size, "dist")
+    visited_base = machine.allocator.alloc_words(size, "visited")
+    # The program builds its weight matrix (warms the DS uniformly).
+    for i in range(size):
+        row_base = adj_base + 4 * size * i
+        for j in range(size):
+            ctx.plain_store(row_base + 4 * j, weights[i][j])
+    ds_adj = ctx.register_ds(adj_base, size * size * params.WORD_SIZE, "adj")
+    ds_dist = ctx.register_ds(dist_base, size * params.WORD_SIZE, "dist")
+    ds_visited = ctx.register_ds(visited_base, size * params.WORD_SIZE, "visited")
+
+    for v in range(size):
+        ctx.plain_store(dist_base + 4 * v, INF if v else 0)
+        ctx.plain_store(visited_base + 4 * v, 0)
+
+    for iteration in range(size):
+        if iteration == 1:
+            # First iteration is warm-up (first-touch fills of the
+            # matrix); counters reset so measured overheads reflect
+            # steady state, like the paper's full-length runs.
+            machine.reset_stats()
+        # Min-scan: public address pattern, branchless comparisons.
+        best_u, best_d = 0, INF + 1
+        for v in range(size):
+            ctx.execute(SCAN_INSTS)
+            d = ctx.plain_load(dist_base + 4 * v)
+            seen = ctx.plain_load(visited_base + 4 * v)
+            candidate = not seen and d < best_d
+            best_u = cfl.ct_select(machine, candidate, v, best_u)
+            best_d = cfl.ct_select(machine, candidate, d, best_d)
+        u = best_u
+        # Secret-dependent: mark u visited, read dist[u], gather row u.
+        ctx.store(ds_visited, visited_base + 4 * u, 1)
+        du = ctx.load(ds_dist, dist_base + 4 * u)
+        row_base = adj_base + 4 * size * u
+        row = ctx.gather(ds_adj, [row_base + 4 * j for j in range(size)])
+        # Relaxation: public store pattern (every dist[v] rewritten).
+        for v in range(size):
+            ctx.execute(RELAX_INSTS)
+            old = ctx.plain_load(dist_base + 4 * v)
+            alt = du + row[v] if row[v] else INF
+            better = v != u and alt < old
+            ctx.plain_store(
+                dist_base + 4 * v, cfl.ct_select(machine, better, alt, old)
+            )
+
+    return [machine.memory.read_word(dist_base + 4 * v) for v in range(size)]
+
+
+def reference(size: int, seed: int) -> List[int]:
+    """Golden model: textbook Dijkstra on the same generated graph."""
+    weights = generate_weights(size, seed)
+    dist = [INF] * size
+    dist[0] = 0
+    visited = [False] * size
+    for _ in range(size):
+        u = min(
+            (v for v in range(size) if not visited[v]),
+            key=dist.__getitem__,
+            default=0,
+        )
+        visited[u] = True
+        for v in range(size):
+            w = weights[u][v]
+            if w and v != u and dist[u] + w < dist[v]:
+                dist[v] = dist[u] + w
+    return dist

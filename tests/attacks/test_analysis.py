@@ -1,0 +1,143 @@
+"""Leakage analysis helpers."""
+
+import pytest
+
+from repro.attacks.analysis import (
+    Observation,
+    check_trace_equivalence,
+    distinguishability,
+    observe_run,
+    set_access_matrix,
+)
+from repro.core.machine import Machine, MachineConfig
+from repro.errors import SecurityViolationError
+
+
+def factory():
+    return Machine(MachineConfig())
+
+
+class TestDistinguishability:
+    def _obs(self, secret, digest):
+        return Observation(secret, digest, {})
+
+    def test_all_equal_is_zero(self):
+        obs = [self._obs(i, "same") for i in range(5)]
+        assert distinguishability(obs) == 0.0
+
+    def test_all_distinct_is_one(self):
+        obs = [self._obs(i, f"d{i}") for i in range(5)]
+        assert distinguishability(obs) == 1.0
+
+    def test_partial(self):
+        obs = [self._obs(0, "a"), self._obs(1, "a"), self._obs(2, "b")]
+        assert distinguishability(obs) == pytest.approx(2 / 3)
+
+    def test_single_observation(self):
+        assert distinguishability([self._obs(0, "x")]) == 0.0
+
+
+class TestCheckTraceEquivalence:
+    def test_secret_independent_victim_passes(self):
+        def victim_factory(secret):
+            return lambda machine: machine.load_word(0x10000)
+
+        obs = check_trace_equivalence(factory, victim_factory, [1, 2, 3])
+        assert len(obs) == 3
+        assert distinguishability(obs) == 0.0
+
+    def test_secret_dependent_victim_raises(self):
+        def victim_factory(secret):
+            return lambda machine: machine.load_word(0x10000 + 4096 * secret)
+
+        with pytest.raises(SecurityViolationError):
+            check_trace_equivalence(factory, victim_factory, [1, 2])
+
+    def test_raise_can_be_disabled(self):
+        def victim_factory(secret):
+            return lambda machine: machine.load_word(0x10000 + 4096 * secret)
+
+        obs = check_trace_equivalence(
+            factory, victim_factory, [1, 2], raise_on_leak=False
+        )
+        assert distinguishability(obs) == 1.0
+
+
+class TestObserveRun:
+    def test_set_accesses_recorded(self):
+        obs = observe_run(factory, lambda m: m.load_word(0x10000), 1)
+        l1_counts = obs.set_accesses["L1D"]
+        assert sum(l1_counts.values()) == 1
+
+    def test_levels_selectable(self):
+        obs = observe_run(
+            factory, lambda m: m.load_word(0x10000), 1, levels=("L2",)
+        )
+        assert list(obs.set_accesses) == ["L2"]
+
+
+class TestSetAccessMatrix:
+    def test_matrix_shape(self):
+        obs = [
+            Observation(1, "x", {"L2": {3: 10, 4: 2}}),
+            Observation(2, "y", {"L2": {3: 7}}),
+        ]
+        matrix = set_access_matrix(obs, "L2", [3, 4, 5])
+        assert matrix == [(1, [10, 2, 0]), (2, [7, 0, 0])]
+
+
+class TestLeakedBits:
+    def _obs(self, secret, digest, sets=None):
+        return Observation(secret, digest, {"L1D": sets or {}})
+
+    def test_no_leak_is_zero_bits(self):
+        from repro.attacks.analysis import leaked_bits
+
+        obs = [self._obs(i, "same") for i in range(8)]
+        assert leaked_bits(obs) == 0.0
+
+    def test_full_leak_is_log2_n(self):
+        from repro.attacks.analysis import leaked_bits
+
+        obs = [self._obs(i, f"d{i}") for i in range(8)]
+        assert leaked_bits(obs) == pytest.approx(3.0)
+
+    def test_partial_leak(self):
+        from repro.attacks.analysis import leaked_bits
+
+        obs = [self._obs(0, "a"), self._obs(1, "a"), self._obs(2, "b"), self._obs(3, "b")]
+        assert leaked_bits(obs) == pytest.approx(1.0)
+
+    def test_empty(self):
+        from repro.attacks.analysis import leaked_bits
+
+        assert leaked_bits([]) == 0.0
+
+
+class TestVaryingSets:
+    def test_detects_spread(self):
+        from repro.attacks.analysis import varying_sets
+
+        obs = [
+            Observation(1, "x", {"L1D": {3: 10, 4: 2}}),
+            Observation(2, "y", {"L1D": {3: 7, 4: 2}}),
+        ]
+        assert varying_sets(obs, "L1D") == {3: 3}
+
+    def test_missing_sets_count_as_zero(self):
+        from repro.attacks.analysis import varying_sets
+
+        obs = [
+            Observation(1, "x", {"L1D": {5: 4}}),
+            Observation(2, "y", {"L1D": {}}),
+        ]
+        assert varying_sets(obs, "L1D") == {5: 4}
+
+    def test_uniform_counts_empty(self):
+        from repro.attacks.analysis import varying_sets
+
+        obs = [
+            Observation(1, "x", {"L1D": {3: 2}}),
+            Observation(2, "y", {"L1D": {3: 2}}),
+        ]
+        assert varying_sets(obs, "L1D") == {}

@@ -1,0 +1,49 @@
+"""Evict+Time: timing the victim after targeted set evictions."""
+
+from repro import params
+from repro.attacks.evict_time import EvictTimeAttacker
+from repro.core.machine import Machine, MachineConfig
+from repro.ct.context import InsecureContext
+from repro.ct.linearize import SoftwareCTContext
+
+LINE = params.LINE_SIZE
+
+
+def small_machine():
+    return Machine(MachineConfig(l1d_size=4 * 1024, l1d_assoc=2))  # 32 sets
+
+
+class TestEvictTime:
+    def test_insecure_victim_slows_on_its_set(self):
+        machine = small_machine()
+        ctx = InsecureContext(machine)
+        base = machine.allocator.alloc_words(512)
+        ds = ctx.register_ds(base, 2048, "t")
+        target = base + 9 * LINE  # set 9
+        attacker = EvictTimeAttacker(machine, "L1D")
+        slowdown = attacker.attack(
+            lambda: ctx.load(ds, target), sets=[5, 9, 20]
+        )
+        assert slowdown[9] > 0
+        assert slowdown[5] == 0 and slowdown[20] == 0
+
+    def test_ct_victim_slows_uniformly(self):
+        """Linearized victims depend on every set equally: the eviction
+        signal no longer singles out the secret's set."""
+        machine = small_machine()
+        ctx = SoftwareCTContext(machine)
+        base = machine.allocator.alloc_words(512)
+        ds = ctx.register_ds(base, 2048, "t")
+        attacker = EvictTimeAttacker(machine, "L1D")
+        slow_a = attacker.attack(
+            lambda: ctx.load(ds, base + 9 * LINE), sets=[5, 9, 20]
+        )
+        # all probed sets hold DS lines -> all evictions cost the same
+        assert slow_a[5] == slow_a[9] == slow_a[20] > 0
+
+    def test_evict_set_clears_contents(self):
+        machine = small_machine()
+        machine.load_word(0x10000 + 3 * LINE)
+        attacker = EvictTimeAttacker(machine, "L1D")
+        attacker.evict_set(3)
+        assert machine.l1d.set_contents(3) == []

@@ -1,0 +1,68 @@
+"""Flush+Reload against a shared lookup table."""
+
+from repro import params
+from repro.attacks.flush_reload import FlushReloadAttacker
+from repro.core.machine import Machine, MachineConfig
+from repro.ct.bia_ops import BIAContext
+from repro.ct.context import InsecureContext
+from repro.ct.linearize import SoftwareCTContext
+
+LINE = params.LINE_SIZE
+
+
+def setup(make_ctx, n_lines=16):
+    machine = Machine(MachineConfig())
+    ctx = make_ctx(machine)
+    base = machine.allocator.alloc(n_lines * LINE, "table")
+    for i in range(n_lines * LINE // 4):
+        machine.memory.write_word(base + 4 * i, i)
+    ds = ctx.register_ds(base, n_lines * LINE, "table")
+    lines = [base + i * LINE for i in range(n_lines)]
+    return machine, ctx, ds, base, lines
+
+
+class TestMechanics:
+    def test_flush_empties_hierarchy(self):
+        machine, ctx, ds, base, lines = setup(InsecureContext)
+        machine.load_word(base)
+        attacker = FlushReloadAttacker(machine, lines)
+        attacker.flush()
+        assert machine.hierarchy.where(base) == []
+
+    def test_reload_latency_classifies(self):
+        machine, ctx, ds, base, lines = setup(InsecureContext)
+        attacker = FlushReloadAttacker(machine, lines)
+        attacker.flush()
+        machine.load_word(base)  # victim touches line 0 only
+        latencies = attacker.reload()
+        hot = attacker.hot_lines(latencies)
+        assert hot == [base]
+
+
+class TestAgainstMitigations:
+    def _touched(self, make_ctx, secret_index):
+        machine, ctx, ds, base, lines = setup(make_ctx)
+        attacker = FlushReloadAttacker(machine, lines)
+        return tuple(
+            attacker.attack(
+                lambda: ctx.load(ds, base + 4 * secret_index)
+            )
+        )
+
+    def test_insecure_reveals_index_line(self):
+        a = self._touched(InsecureContext, 0)
+        b = self._touched(InsecureContext, 200)
+        assert a != b
+        assert len(a) == 1  # exactly the secret's line
+
+    def test_ct_touches_everything(self):
+        a = self._touched(lambda m: SoftwareCTContext(m), 0)
+        b = self._touched(lambda m: SoftwareCTContext(m), 200)
+        assert a == b
+        assert len(a) == 16  # the whole DS
+
+    def test_bia_touches_everything(self):
+        a = self._touched(BIAContext, 0)
+        b = self._touched(BIAContext, 200)
+        assert a == b
+        assert len(a) == 16

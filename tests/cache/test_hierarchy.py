@@ -1,0 +1,161 @@
+"""Multi-level hierarchy: fills, latency accounting, write-backs, bypass."""
+
+import pytest
+
+from repro import params
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.errors import ConfigurationError
+from repro.memory.dram import DRAM
+
+LINE = params.LINE_SIZE
+
+
+def build(l1_kw=None, l2_kw=None, dram_latency=200):
+    l1 = SetAssociativeCache("L1D", 4096, 2, 2, **(l1_kw or {}))
+    l2 = SetAssociativeCache("L2", 16 * 1024, 4, 15, **(l2_kw or {}))
+    return CacheHierarchy([l1, l2], DRAM(latency=dram_latency))
+
+
+class TestReadPath:
+    def test_cold_miss_fills_all_levels(self):
+        h = build()
+        result = h.read_line(0x1000)
+        assert result.hit_level is None
+        assert result.latency == 2 + 15 + 200
+        assert h.where(0x1000) == ["L1D", "L2"]
+
+    def test_l1_hit_latency(self):
+        h = build()
+        h.read_line(0x1000)
+        result = h.read_line(0x1000)
+        assert result.hit_level == "L1D"
+        assert result.latency == 2
+
+    def test_l2_hit_refills_l1(self):
+        h = build()
+        h.read_line(0x1000)
+        h.levels[0].invalidate(0x1000)
+        result = h.read_line(0x1000)
+        assert result.hit_level == "L2"
+        assert result.latency == 2 + 15
+        assert 0x1000 in h.levels[0]
+
+    def test_dram_counted_once_per_cold_miss(self):
+        h = build()
+        h.read_line(0x1000)
+        h.read_line(0x1000)
+        assert h.dram.stats.reads == 1
+
+
+class TestWritePath:
+    def test_write_dirties_start_level_only(self):
+        h = build()
+        h.write_line(0x1000)
+        assert h.levels[0].is_dirty(0x1000)
+        assert not h.levels[1].is_dirty(0x1000)
+
+    def test_write_allocate_on_miss(self):
+        h = build()
+        result = h.write_line(0x1000)
+        assert result.hit_level is None
+        assert 0x1000 in h.levels[0]
+
+
+class TestWriteBack:
+    def test_dirty_victim_lands_in_l2(self):
+        h = build()
+        conflicts = [i * 32 * LINE for i in range(3)]  # same L1 set
+        h.write_line(conflicts[0])
+        h.read_line(conflicts[1])
+        h.read_line(conflicts[2])  # evicts dirty conflicts[0] from L1
+        assert conflicts[0] not in h.levels[0]
+        assert h.levels[1].is_dirty(conflicts[0])
+        assert h.dram.stats.writes == 0
+
+    def test_dirty_victim_falls_to_dram_when_l2_lost_it(self):
+        h = build()
+        conflicts = [i * 32 * LINE for i in range(3)]
+        h.write_line(conflicts[0])
+        h.levels[1].invalidate(conflicts[0])  # L2 no longer has it
+        h.read_line(conflicts[1])
+        h.read_line(conflicts[2])
+        assert h.dram.stats.writes == 1
+
+
+class TestFlushAndEvict:
+    def test_flush_invalidates_everywhere(self):
+        h = build()
+        h.write_line(0x1000)
+        latency = h.flush_line(0x1000)
+        assert h.where(0x1000) == []
+        assert latency == 200  # dirty write-back
+        assert h.dram.stats.writes == 1
+
+    def test_flush_clean_is_free(self):
+        h = build()
+        h.read_line(0x1000)
+        assert h.flush_line(0x1000) == 0
+
+    def test_targeted_evict(self):
+        h = build()
+        h.read_line(0x1000)
+        assert h.evict_line_from("L1D", 0x1000)
+        assert h.where(0x1000) == ["L2"]
+
+    def test_targeted_evict_absent(self):
+        h = build()
+        assert not h.evict_line_from("L1D", 0x1000)
+
+    def test_targeted_evict_dirty_writes_back(self):
+        h = build()
+        h.write_line(0x1000)
+        h.evict_line_from("L1D", 0x1000)
+        assert h.levels[1].is_dirty(0x1000)
+
+
+class TestBypass:
+    def test_start_level_skips_l1(self):
+        h = build()
+        result = h.read_line(0x1000, start_level=1)
+        assert 0x1000 not in h.levels[0]
+        assert 0x1000 in h.levels[1]
+        assert result.latency == 15 + 200
+
+    def test_uncached_read_changes_nothing(self):
+        h = build()
+        result = h.read_line_uncached(0x1000)
+        assert result.latency == 200
+        assert h.where(0x1000) == []
+        assert h.dram.stats.reads == 1
+
+    def test_uncached_write_changes_nothing(self):
+        h = build()
+        h.write_line_uncached(0x1000)
+        assert h.where(0x1000) == []
+        assert h.dram.stats.writes == 1
+
+
+class TestConfig:
+    def test_duplicate_names_rejected(self):
+        l1 = SetAssociativeCache("X", 4096, 2, 2)
+        l2 = SetAssociativeCache("X", 4096, 2, 2)
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy([l1, l2], DRAM())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy([], DRAM())
+
+    def test_level_lookup(self):
+        h = build()
+        assert h.level("L2").name == "L2"
+        with pytest.raises(ConfigurationError):
+            h.level("LLC")
+
+    def test_reset_stats(self):
+        h = build()
+        h.read_line(0x1000)
+        h.reset_stats()
+        assert h.levels[0].stats.accesses == 0
+        assert h.dram.stats.accesses == 0

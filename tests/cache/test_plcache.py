@@ -1,0 +1,114 @@
+"""PLcache: locking semantics and conflict handling."""
+
+import pytest
+
+from repro import params
+from repro.cache.plcache import PartitionLockedCache
+from repro.errors import ProtocolError
+
+LINE = params.LINE_SIZE
+
+
+def small_plcache():
+    return PartitionLockedCache("L1D", 4096, 2, 2)  # 2-way, 32 sets
+
+
+class TestLocking:
+    def test_lock_requires_residency(self):
+        cache = small_plcache()
+        assert not cache.lock(0x1000)
+        cache.fill(0x1000)
+        assert cache.lock(0x1000)
+        assert cache.is_locked(0x1000)
+
+    def test_unlock(self):
+        cache = small_plcache()
+        cache.fill(0x1000)
+        cache.lock(0x1000)
+        assert cache.unlock(0x1000)
+        assert not cache.is_locked(0x1000)
+
+    def test_unlock_all(self):
+        cache = small_plcache()
+        for addr in (0x1000, 0x2000):
+            cache.fill(addr)
+            cache.lock(addr)
+        assert cache.unlock_all() == 2
+        assert cache.locked_lines() == []
+
+    def test_locked_lines_listing(self):
+        cache = small_plcache()
+        cache.fill(0x2000)
+        cache.fill(0x1000)
+        cache.lock(0x1000)
+        assert cache.locked_lines() == [0x1000]
+
+
+class TestVictimSelection:
+    def test_locked_line_never_evicted(self):
+        cache = small_plcache()
+        conflict = 32 * LINE  # same set as address 0
+        cache.fill(0)
+        cache.lock(0)
+        cache.fill(conflict)
+        cache.fill(2 * conflict)  # must evict `conflict`, not the locked 0
+        assert 0 in cache
+        assert conflict not in cache
+
+    def test_fully_locked_set_serves_uncached(self):
+        cache = small_plcache()
+        conflict = 32 * LINE
+        for addr in (0, conflict):
+            cache.fill(addr)
+            cache.lock(addr)
+        result = cache.fill(2 * conflict)
+        assert result is None
+        assert 2 * conflict not in cache
+        assert cache.uncached_fills == 1
+
+    def test_lru_respected_among_unlocked(self):
+        cache = PartitionLockedCache("L1D", 4096 * 2, 4, 2)  # 4-way
+        stride = cache.num_sets * LINE
+        addrs = [i * stride for i in range(4)]
+        for addr in addrs:
+            cache.fill(addr)
+        cache.lock(addrs[0])
+        cache.access(addrs[1])  # make way 1 MRU
+        cache.fill(4 * stride)  # victim: LRU among unlocked = addrs[2]
+        assert addrs[2] not in cache
+        assert addrs[0] in cache and addrs[1] in cache
+
+    def test_locked_line_refill_is_harmless(self):
+        cache = small_plcache()
+        cache.fill(0x1000)
+        cache.lock(0x1000)
+        assert cache.fill(0x1000, dirty=True) is None
+        assert cache.is_locked(0x1000)
+        assert cache.is_dirty(0x1000)
+
+
+class TestInvalidation:
+    def test_locked_invalidate_rejected(self):
+        cache = small_plcache()
+        cache.fill(0x1000)
+        cache.lock(0x1000)
+        with pytest.raises(ProtocolError):
+            cache.invalidate(0x1000)
+
+    def test_unlocked_invalidate_ok(self):
+        cache = small_plcache()
+        cache.fill(0x1000)
+        assert cache.invalidate(0x1000) is not None
+
+
+class TestPinnable:
+    def test_single_line(self):
+        cache = small_plcache()
+        assert cache.pinnable_lines(0, LINE) == 1
+
+    def test_pinnable_bound_caps_at_associativity(self):
+        cache = small_plcache()  # 2-way, 32 sets
+        # a contiguous 3x-cache-size range puts 3 lines in every set,
+        # but only assoc (=2) of each set's lines can ever be pinned
+        stride = cache.num_sets * LINE
+        assert cache.pinnable_lines(0, 3 * stride) == 2 * cache.num_sets

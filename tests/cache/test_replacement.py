@@ -1,0 +1,144 @@
+"""Replacement policies, including an LRU reference-model property test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+    policy_names,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLRU:
+    def test_victim_prefers_invalid_ways(self):
+        lru = LRUPolicy(4)
+        lru.on_fill(0)
+        lru.on_fill(1)
+        assert lru.victim() in (2, 3)
+
+    def test_evicts_least_recently_used(self):
+        lru = LRUPolicy(2)
+        lru.on_fill(0)
+        lru.on_fill(1)
+        lru.on_access(0)
+        assert lru.victim() == 1
+
+    def test_fill_counts_as_use(self):
+        lru = LRUPolicy(2)
+        lru.on_fill(0)
+        lru.on_fill(1)
+        assert lru.victim() == 0
+
+    def test_invalidate_frees_way(self):
+        lru = LRUPolicy(2)
+        lru.on_fill(0)
+        lru.on_fill(1)
+        lru.on_invalidate(0)
+        assert lru.victim() == 0
+
+    def test_recency_order(self):
+        lru = LRUPolicy(3)
+        for w in (0, 1, 2):
+            lru.on_fill(w)
+        lru.on_access(0)
+        assert lru.recency_order() == [0, 2, 1]
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), max_size=60))
+    @settings(max_examples=100)
+    def test_matches_reference_model(self, accesses):
+        """LRU victim always equals an order-list reference model."""
+        lru = LRUPolicy(4)
+        order = []  # most recent last
+        for way in accesses:
+            if way in order:
+                order.remove(way)
+                lru.on_access(way)
+            else:
+                lru.on_fill(way)
+            order.append(way)
+        if len(order) == 4:
+            assert lru.victim() == order[0]
+
+
+class TestFIFO:
+    def test_ignores_touches(self):
+        fifo = FIFOPolicy(2)
+        fifo.on_fill(0)
+        fifo.on_fill(1)
+        fifo.on_access(0)
+        assert fifo.victim() == 0  # still first-in
+
+    def test_refill_moves_to_back(self):
+        fifo = FIFOPolicy(2)
+        fifo.on_fill(0)
+        fifo.on_fill(1)
+        fifo.on_fill(0)
+        assert fifo.victim() == 1
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(8, seed=42)
+        b = RandomPolicy(8, seed=42)
+        for w in range(8):
+            a.on_fill(w)
+            b.on_fill(w)
+        assert [a.victim() for _ in range(10)] == [b.victim() for _ in range(10)]
+
+    def test_victim_in_range(self):
+        r = RandomPolicy(4, seed=1)
+        for w in range(4):
+            r.on_fill(w)
+        assert all(0 <= r.victim() < 4 for _ in range(20))
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            TreePLRUPolicy(6)
+
+    def test_victim_avoids_most_recent(self):
+        plru = TreePLRUPolicy(4)
+        for w in range(4):
+            plru.on_fill(w)
+        plru.on_access(2)
+        assert plru.victim() != 2
+
+    def test_two_way_behaves_like_lru(self):
+        plru = TreePLRUPolicy(2)
+        plru.on_fill(0)
+        plru.on_fill(1)
+        plru.on_access(0)
+        assert plru.victim() == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=8, max_size=40))
+    @settings(max_examples=60)
+    def test_never_evicts_the_hottest(self, accesses):
+        plru = TreePLRUPolicy(8)
+        for w in range(8):
+            plru.on_fill(w)
+        for way in accesses:
+            plru.on_access(way)
+        assert plru.victim() != accesses[-1]
+
+
+class TestRegistry:
+    def test_make_policy_all_names(self):
+        for name in policy_names():
+            policy = make_policy(name, 4)
+            policy.on_fill(0)
+            assert 0 <= policy.victim() < 4
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("belady", 4)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUPolicy(0)

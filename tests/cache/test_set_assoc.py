@@ -1,0 +1,243 @@
+"""Single-level set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import params
+from repro.cache.events import CacheListener
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.errors import ConfigurationError
+
+LINE = params.LINE_SIZE
+
+
+def small_cache(**kw):
+    defaults = dict(name="T", size_bytes=4096, assoc=2, latency=2)
+    defaults.update(kw)
+    return SetAssociativeCache(**defaults)
+
+
+class _Recorder(CacheListener):
+    def __init__(self):
+        self.log = []
+
+    def on_hit(self, c, a, d, lru_updated=True):
+        self.log.append(("hit", a, lru_updated))
+
+    def on_fill(self, c, a, d):
+        self.log.append(("fill", a, d))
+
+    def on_evict(self, c, a, d):
+        self.log.append(("evict", a, d))
+
+    def on_invalidate(self, c, a):
+        self.log.append(("inval", a))
+
+    def on_dirty(self, c, a):
+        self.log.append(("dirty", a))
+
+    def on_clean(self, c, a):
+        self.log.append(("clean", a))
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = small_cache()  # 4096 / (2 * 64) = 32 sets
+        assert cache.num_sets == 32
+
+    def test_set_index_wraps(self):
+        cache = small_cache()
+        assert cache.set_index(0) == 0
+        assert cache.set_index(32 * LINE) == 0
+        assert cache.set_index(LINE) == 1
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ConfigurationError):
+            small_cache(size_bytes=1000)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            small_cache(size_bytes=64 * 2 * 3)  # 3 sets
+
+    def test_rejects_nonpositive_params(self):
+        with pytest.raises(ConfigurationError):
+            small_cache(latency=0)
+
+
+class TestAccess:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0x1000) is None
+        cache.fill(0x1000)
+        line = cache.access(0x1000)
+        assert line is not None and line.line_addr == 0x1000
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_contains(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        assert 0x1000 in cache
+        assert 0x2000 not in cache
+
+    def test_lookup_is_pure(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        hits, misses = cache.stats.hits, cache.stats.misses
+        assert cache.lookup(0x1000) is not None
+        assert cache.lookup(0x9000) is None
+        assert (cache.stats.hits, cache.stats.misses) == (hits, misses)
+
+    def test_per_set_access_counting(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        cache.access(0x1000)
+        cache.access(0x1000, observable=False)
+        idx = cache.set_index(0x1000)
+        assert cache.stats.set_accesses[idx] == 2
+
+
+class TestFillEvict:
+    def test_capacity_eviction_lru(self):
+        cache = small_cache()  # 2-way
+        conflict = 32 * LINE  # same set as 0
+        cache.fill(0)
+        cache.fill(conflict)
+        cache.access(0)  # 0 now MRU
+        victim = cache.fill(2 * conflict)
+        assert victim is not None and victim.line_addr == conflict
+
+    def test_refill_does_not_evict(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        assert cache.fill(0x1000) is None
+        assert cache.stats.fills == 1
+
+    def test_refill_can_upgrade_dirty(self):
+        cache = small_cache()
+        cache.fill(0x1000, dirty=False)
+        cache.fill(0x1000, dirty=True)
+        assert cache.is_dirty(0x1000)
+
+    def test_dirty_eviction_counted(self):
+        cache = small_cache()
+        conflict = 32 * LINE
+        cache.fill(0, dirty=True)
+        cache.fill(conflict)
+        cache.fill(2 * conflict)
+        assert cache.stats.dirty_evictions == 1
+
+
+class TestDirty:
+    def test_set_dirty_requires_residency(self):
+        cache = small_cache()
+        assert not cache.set_dirty(0x1000)
+        cache.fill(0x1000)
+        assert cache.set_dirty(0x1000)
+        assert cache.is_dirty(0x1000)
+
+    def test_clean(self):
+        cache = small_cache()
+        cache.fill(0x1000, dirty=True)
+        assert cache.clean(0x1000)
+        assert not cache.is_dirty(0x1000)
+        assert not cache.clean(0x1000)  # already clean
+
+
+class TestInvalidate:
+    def test_invalidate_removes(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        removed = cache.invalidate(0x1000)
+        assert removed.line_addr == 0x1000
+        assert 0x1000 not in cache
+
+    def test_invalidate_absent_is_noop(self):
+        cache = small_cache()
+        assert cache.invalidate(0x1000) is None
+
+    def test_invalidated_way_reused_first(self):
+        cache = small_cache()
+        conflict = 32 * LINE
+        cache.fill(0)
+        cache.fill(conflict)
+        cache.invalidate(0)
+        victim = cache.fill(2 * conflict)
+        assert victim is None  # reused the empty way, no eviction
+
+
+class TestEvents:
+    def test_event_sequence(self):
+        cache = small_cache()
+        rec = _Recorder()
+        cache.events.subscribe(rec)
+        cache.fill(0x1000)
+        cache.access(0x1000)
+        cache.set_dirty(0x1000)
+        cache.invalidate(0x1000)
+        kinds = [e[0] for e in rec.log]
+        assert kinds == ["fill", "hit", "dirty", "inval"]
+
+    def test_suppressed_hit_flagged(self):
+        cache = small_cache()
+        rec = _Recorder()
+        cache.events.subscribe(rec)
+        cache.fill(0x1000)
+        cache.access(0x1000, update_replacement=False)
+        assert ("hit", 0x1000, False) in rec.log
+
+    def test_unsubscribe(self):
+        cache = small_cache()
+        rec = _Recorder()
+        cache.events.subscribe(rec)
+        cache.events.unsubscribe(rec)
+        cache.fill(0x1000)
+        assert not rec.log
+
+
+class TestLRUSuppression:
+    def test_suppressed_hit_does_not_refresh(self):
+        """The Sec. 3.2 rule: secret accesses must not move LRU state."""
+        cache = small_cache()
+        conflict = 32 * LINE
+        cache.fill(0)
+        cache.fill(conflict)  # LRU order: 0 older
+        cache.access(0, update_replacement=False)
+        victim = cache.fill(2 * conflict)
+        assert victim.line_addr == 0  # 0 still the LRU victim
+
+    def test_replacement_state_exposed(self):
+        cache = small_cache()
+        cache.fill(0)
+        cache.fill(32 * LINE)
+        cache.access(0)
+        assert cache.replacement_state(0) == (0, 32 * LINE)
+
+
+class TestResidency:
+    def test_resident_lines_sorted(self):
+        cache = small_cache()
+        cache.fill(0x2000)
+        cache.fill(0x1000)
+        assert cache.resident_lines() == [0x1000, 0x2000]
+
+    def test_set_contents(self):
+        cache = small_cache()
+        cache.fill(0x1000, dirty=True)
+        assert cache.set_contents(cache.set_index(0x1000)) == [(0x1000, True)]
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=255), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=50)
+    def test_capacity_never_exceeded(self, line_indices):
+        cache = small_cache()  # 64 lines capacity
+        for idx in line_indices:
+            if cache.access(idx * LINE) is None:
+                cache.fill(idx * LINE)
+        assert len(cache.resident_lines()) <= 64
+        # every resident line is one we touched
+        touched = {idx * LINE for idx in line_indices}
+        assert set(cache.resident_lines()) <= touched

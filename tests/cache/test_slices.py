@@ -1,0 +1,71 @@
+"""LLC slice hashing and Sec. 6.4 feasibility case analysis."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import params
+from repro.cache.slices import SliceHash, llc_bia_feasibility
+from repro.errors import ConfigurationError
+
+
+class TestSliceHash:
+    def test_single_slice(self):
+        assert SliceHash(1).slice_of(0xDEADBEEF) == 0
+
+    def test_slice_in_range(self):
+        h = SliceHash(8, ls_hash=12)
+        for addr in range(0, 1 << 20, 4096):
+            assert 0 <= h.slice_of(addr) < 8
+
+    def test_same_page_same_slice_when_ls_hash_12(self):
+        """The property Sec. 6.4 relies on for M=12 feasibility."""
+        h = SliceHash(8, ls_hash=12)
+        base = 0x123000
+        slices = {
+            h.slice_of(base + i * params.LINE_SIZE) for i in range(64)
+        }
+        assert len(slices) == 1
+
+    def test_lines_spread_when_ls_hash_6(self):
+        """The Xeon E5-2430 case: consecutive lines hit many slices."""
+        h = SliceHash(8, ls_hash=6)
+        slices = {
+            h.slice_of(0x123000 + i * params.LINE_SIZE) for i in range(64)
+        }
+        assert len(slices) > 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            SliceHash(6)
+
+    def test_rejects_sub_line_hash(self):
+        with pytest.raises(ConfigurationError):
+            SliceHash(4, ls_hash=3)
+
+    @given(st.integers(min_value=0, max_value=(1 << 40) - 1))
+    def test_deterministic(self, addr):
+        h = SliceHash(4, ls_hash=10)
+        assert h.slice_of(addr) == h.slice_of(addr)
+
+
+class TestFeasibility:
+    def test_skylake_case(self):
+        f = llc_bia_feasibility(12)
+        assert f.feasible and f.management_bits == params.PAGE_BITS
+
+    def test_above_page_bits(self):
+        f = llc_bia_feasibility(14)
+        assert f.feasible and f.management_bits == params.PAGE_BITS
+
+    def test_intermediate_case_shrinks_m(self):
+        f = llc_bia_feasibility(9)
+        assert f.feasible and f.management_bits == 9
+
+    def test_xeon_case_infeasible(self):
+        f = llc_bia_feasibility(6)
+        assert not f.feasible
+
+    def test_invalid_ls_hash(self):
+        with pytest.raises(ConfigurationError):
+            llc_bia_feasibility(4)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine import Machine, MachineConfig
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A fresh Table-1 machine with the BIA in the L1d cache."""
+    return Machine(MachineConfig())
+
+
+@pytest.fixture
+def l2_machine() -> Machine:
+    """A fresh Table-1 machine with the BIA in the L2 cache."""
+    return Machine(MachineConfig(bia_level="L2"))
+
+
+@pytest.fixture
+def tiny_machine() -> Machine:
+    """A machine with very small caches, for eviction-heavy tests.
+
+    L1D: 4 KiB (2-way, 32 sets) so conflict/capacity behaviour is easy
+    to provoke; L2/LLC scaled down proportionally.
+    """
+    return Machine(
+        MachineConfig(
+            l1d_size=4 * 1024,
+            l1d_assoc=2,
+            l2_size=16 * 1024,
+            l2_assoc=4,
+            llc_size=64 * 1024,
+            llc_assoc=8,
+            bia_entries=16,
+            bia_assoc=4,
+        )
+    )
+
+
+@pytest.fixture
+def machine_factory():
+    """Callable producing identical fresh machines (security tests)."""
+    return lambda: Machine(MachineConfig())

@@ -1,0 +1,166 @@
+"""CTLoad / CTStore micro-op semantics, including the Fig. 6 races."""
+
+from repro import params
+from repro.core.machine import Machine, MachineConfig
+
+LINE = params.LINE_SIZE
+
+
+def fresh(bia_level="L1D"):
+    return Machine(MachineConfig(bia_level=bia_level))
+
+
+class TestCTLoad:
+    def test_hit_returns_real_data(self, machine):
+        machine.memory.write_word(0x10000, 1234)
+        machine.load_word(0x10000)  # brings the line in
+        data, _ = machine.ctload(0x10000)
+        assert data == 1234
+
+    def test_miss_returns_fake_zero(self, machine):
+        machine.memory.write_word(0x10000, 1234)
+        data, _ = machine.ctload(0x10000)
+        assert data == 0
+
+    def test_miss_does_not_fill(self, machine):
+        machine.ctload(0x10000)
+        assert machine.hierarchy.where(0x10000 // LINE * LINE) == []
+
+    def test_miss_not_forwarded_to_next_level(self, machine):
+        machine.ctload(0x10000)
+        assert machine.dram.stats.reads == 0
+        assert machine.l2.stats.accesses == 0
+
+    def test_returns_existence_bitmap(self, machine):
+        machine.load_word(0x10000)
+        machine.ctload(0x10000)  # allocates the BIA entry (zeroed)
+        machine.load_word(0x10040)  # monitored fill updates the entry
+        _, existence = machine.ctload(0x10000)
+        assert existence & 0b10  # line 1 of the page known present
+
+    def test_does_not_update_lru(self):
+        machine = Machine(
+            MachineConfig(l1d_size=8 * 1024, l1d_assoc=2)
+        )  # 64 sets
+        way_stride = 64 * LINE * 2  # lines mapping to the same L1 set
+        a, b, c = 0x10000, 0x10000 + way_stride, 0x10000 + 2 * way_stride
+        machine.load_word(a)
+        machine.load_word(b)
+        machine.ctload(a)  # must NOT make `a` most-recently-used
+        machine.load_word(c)  # evicts the true LRU: a
+        assert machine.l1d.lookup(a) is None
+
+    def test_does_not_teach_bia(self, machine):
+        """CTLoad's own (secret-dependent) probe must not set bits."""
+        machine.load_word(0x10000)
+        machine.ctload(0x10000)  # BIA entry allocated zeroed
+        _, existence = machine.ctload(0x10000)
+        assert existence == 0  # the probe hits, but the bitmap stays
+
+
+class TestCTStore:
+    def test_writes_only_if_dirty(self, machine):
+        machine.memory.write_word(0x10000, 1)
+        machine.store_word(0x10000, 1)  # line dirty in L1
+        machine.ctstore(0x10000, 42)
+        assert machine.memory.read_word(0x10000) == 42
+
+    def test_clean_line_not_written(self, machine):
+        machine.memory.write_word(0x10000, 1)
+        machine.load_word(0x10000)  # resident but clean
+        machine.ctstore(0x10000, 42)
+        assert machine.memory.read_word(0x10000) == 1
+
+    def test_absent_line_not_written(self, machine):
+        machine.memory.write_word(0x10000, 1)
+        machine.ctstore(0x10000, 42)
+        assert machine.memory.read_word(0x10000) == 1
+
+    def test_does_not_change_dirty_bits(self, machine):
+        machine.load_word(0x10000)
+        machine.ctstore(0x10000, 42)
+        assert not machine.l1d.is_dirty(0x10000)
+
+    def test_returns_dirtiness_bitmap(self, machine):
+        machine.ctload(0x10000)  # allocate entry
+        machine.store_word(0x10040, 7)  # dirty line 1, monitored
+        dirt = machine.ctstore(0x10000, 0)
+        assert dirt & 0b10
+
+
+class TestFig6Races:
+    """The four CTLoad-then-CTStore interleavings of Figure 6."""
+
+    def test_a_load_success(self, machine):
+        """(a): dirty at CTLoad, still dirty at CTStore -> committed."""
+        machine.memory.write_word(0x10000, 5)
+        machine.store_word(0x10000, 5)
+        ld, _ = machine.ctload(0x10000)
+        assert ld == 5  # real data
+        machine.ctstore(0x10000, 99)
+        assert machine.memory.read_word(0x10000) == 99
+
+    def test_b_load_fail_fake_data_blocked(self, machine):
+        """(b): absent at CTLoad -> fake data; CTStore must not commit."""
+        machine.memory.write_word(0x10040, 7)
+        ld, _ = machine.ctload(0x10040)
+        assert ld == 0  # fake
+        machine.ctstore(0x10040, ld)
+        assert machine.memory.read_word(0x10040) == 7  # uncorrupted
+
+    def test_c_evicted_between(self, machine):
+        """(c): dirty at CTLoad, attacker evicts -> CTStore does nothing."""
+        machine.memory.write_word(0x10000, 5)
+        machine.store_word(0x10000, 5)
+        ld, _ = machine.ctload(0x10000)
+        assert ld == 5
+        machine.attacker_evict("L1D", 0x10000)
+        machine.ctstore(0x10000, 99)
+        # The dirty line was written back on eviction; value preserved,
+        # and the CTStore write did not happen at any level.
+        assert machine.memory.read_word(0x10000) == 5
+
+    def test_d_prefetched_between(self):
+        """(d): miss at CTLoad, prefetcher brings the line in CLEAN ->
+        CTStore still refuses to write the fake data."""
+        machine = Machine(MachineConfig(prefetcher=True))
+        machine.memory.write_word(0x10040, 7)
+        ld, _ = machine.ctload(0x10040)
+        assert ld == 0
+        # a demand miss on the previous line prefetches 0x10040 in, clean
+        machine.load_word(0x10000)
+        assert 0x10040 in machine.l1d
+        assert not machine.l1d.is_dirty(0x10040)
+        machine.ctstore(0x10040, ld)
+        assert machine.memory.read_word(0x10040) == 7
+
+
+class TestL2ResidentBIA:
+    def test_ct_ops_probe_l2(self):
+        machine = fresh("L2")
+        machine.memory.write_word(0x10000, 5)
+        # Fill L2 only (bypass L1): the CT op must see it.
+        machine.load_word(0x10000, start_level=machine.ds_start_level)
+        assert 0x10000 not in machine.l1d
+        data, _ = machine.ctload(0x10000)
+        assert data == 5
+
+    def test_l1_resident_only_is_a_ct_miss(self):
+        """An L2-resident BIA never consults the L1."""
+        machine = fresh("L2")
+        machine.memory.write_word(0x10000, 5)
+        machine.load_word(0x10000)  # fills L1 and L2
+        machine.hierarchy.level("L2").invalidate(0x10000)
+        data, _ = machine.ctload(0x10000)
+        assert data == 0  # L2 miss -> fake data despite the L1 copy
+
+    def test_ds_start_level(self):
+        assert fresh("L1D").ds_start_level == 0
+        assert fresh("L2").ds_start_level == 1
+
+    def test_latency_reflects_level(self):
+        l1 = fresh("L1D")
+        l2 = fresh("L2")
+        l1.ctload(0x10000)
+        l2.ctload(0x10000)
+        assert l2.stats.cycles > l1.stats.cycles

@@ -1,0 +1,132 @@
+"""Sec. 6.4: the LLC-resident BIA on a sliced last-level cache.
+
+Covers the three LS_Hash regimes, functional correctness with the
+shrunken management granularity M, and the interconnect security
+property: the sequence of LLC slices the victim's traffic visits must
+be independent of the secret — which holds when M <= LS_Hash and
+demonstrably breaks when the granularity rule is violated.
+"""
+
+import pytest
+
+from repro import params
+from repro.core.machine import Machine, MachineConfig
+from repro.ct.bia_ops import BIAContext
+from repro.errors import ConfigurationError
+
+
+def llc_machine(ls_hash=12, slices=8, **kw):
+    return Machine(
+        MachineConfig(
+            bia_level="LLC", llc_slices=slices, ls_hash=ls_hash, **kw
+        )
+    )
+
+
+def setup_array(machine, n=300):
+    ctx = BIAContext(machine)
+    base = machine.allocator.alloc_words(n)
+    for i in range(n):
+        machine.memory.write_word(base + 4 * i, 1000 + i)
+    ds = ctx.register_ds(base, n * 4, "arr")
+    return ctx, base, ds
+
+
+class TestConfiguration:
+    def test_skylake_like_uses_page_granularity(self):
+        machine = llc_machine(ls_hash=12)
+        assert machine.management_bits == params.PAGE_BITS
+        assert machine.bia.group_bits == params.PAGE_BITS
+
+    def test_intermediate_hash_shrinks_m(self):
+        machine = llc_machine(ls_hash=9)
+        assert machine.management_bits == 9
+        assert machine.bia.lines_per_group == 8  # 2**(9-6)
+
+    def test_xeon_like_rejected(self):
+        with pytest.raises(ConfigurationError):
+            llc_machine(ls_hash=6)
+
+    def test_l1d_bia_ignores_ls_hash(self):
+        machine = Machine(MachineConfig(bia_level="L1D", ls_hash=8))
+        assert machine.management_bits == params.PAGE_BITS
+
+    def test_management_override(self):
+        machine = llc_machine(ls_hash=8, management_bits=12)
+        assert machine.management_bits == 12  # misconfiguration, allowed
+
+    def test_ct_ops_probe_llc(self):
+        machine = llc_machine()
+        assert machine.ds_start_level == machine.hierarchy.level_index("LLC")
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("ls_hash", [8, 9, 12])
+    def test_load_store_roundtrip(self, ls_hash):
+        machine = llc_machine(ls_hash=ls_hash)
+        ctx, base, ds = setup_array(machine)
+        assert ctx.load(ds, base + 4 * 42) == 1042
+        ctx.store(ds, base + 4 * 42, 7)
+        assert ctx.load(ds, base + 4 * 42) == 7
+
+    def test_gather(self):
+        machine = llc_machine(ls_hash=8)
+        ctx, base, ds = setup_array(machine)
+        addrs = [base + 4 * i for i in (0, 17, 250)]
+        assert ctx.gather(ds, addrs) == [1000, 1017, 1250]
+
+    def test_ds_accesses_bypass_l1_and_l2(self):
+        machine = llc_machine()
+        ctx, base, ds = setup_array(machine)
+        ctx.load(ds, base)
+        assert base not in machine.l1d
+        assert base not in machine.l2
+        assert base in machine.llc
+
+    def test_small_group_bitmask_width(self):
+        machine = llc_machine(ls_hash=8)
+        ctx, base, ds = setup_array(machine, n=128)  # 512 B = 8 lines
+        view = ds.view(8)
+        for group in view.groups:
+            assert view.bitmask(group) < (1 << view.lines_per_group)
+
+
+class TestInterconnectSecurity:
+    def _slice_trace(self, machine_kw, secret):
+        machine = llc_machine(**machine_kw)
+        ctx, base, ds = setup_array(machine)
+        machine.slice_trace.clear()
+        ctx.load(ds, base + 4 * secret)
+        ctx.store(ds, base + 4 * ((secret * 13) % 300), 1)
+        return tuple(machine.slice_trace)
+
+    @pytest.mark.parametrize("ls_hash", [8, 12])
+    def test_slice_trace_secret_independent(self, ls_hash):
+        """With M <= LS_Hash, inter-slice traffic hides the offset."""
+        traces = {
+            self._slice_trace({"ls_hash": ls_hash}, secret)
+            for secret in (5, 100, 250)
+        }
+        assert len(traces) == 1
+
+    def test_wrong_granularity_leaks(self):
+        """Forcing M=12 on an LS_Hash=8 machine: a management group
+        spans 16 slices-worth of address bits, so the CT-op's
+        secret-dependent offset selects a secret-dependent slice."""
+        traces = {
+            self._slice_trace(
+                {"ls_hash": 8, "management_bits": 12}, secret
+            )
+            for secret in (5, 100, 250)
+        }
+        assert len(traces) > 1
+
+    def test_gather_slice_trace_secret_independent(self):
+        def trace(secret):
+            machine = llc_machine(ls_hash=8)
+            ctx, base, ds = setup_array(machine)
+            machine.slice_trace.clear()
+            ctx.gather(ds, [base + 4 * ((secret * k) % 300) for k in (1, 7, 11)])
+            return tuple(machine.slice_trace)
+
+        assert len({trace(s) for s in (3, 50, 200)}) == 1

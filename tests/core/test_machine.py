@@ -1,0 +1,179 @@
+"""Machine integration: counters, actors, configuration."""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.machine import Machine, MachineConfig, build_machine
+from repro.errors import ConfigurationError
+
+
+class TestCounters:
+    def test_execute(self, machine):
+        machine.execute(10)
+        assert machine.stats.insts == 10
+        assert machine.stats.l1i_refs == 10
+        assert machine.stats.cycles == 10.0
+
+    def test_execute_rejects_negative(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.execute(-1)
+
+    def test_load_counts(self, machine):
+        machine.load_word(0x10000)
+        assert machine.stats.loads == 1
+        assert machine.stats.l1d_refs == 1
+        assert machine.stats.insts == 1
+        # cold miss: L1 + L2 + LLC + DRAM latencies (the memory
+        # instruction's own cycle is part of the access latency)
+        assert machine.stats.cycles == 2 + 15 + 41 + 200
+
+    def test_warm_load_latency(self, machine):
+        machine.load_word(0x10000)
+        before = machine.stats.cycles
+        machine.load_word(0x10000)
+        assert machine.stats.cycles - before == 2
+
+    def test_store_roundtrip(self, machine):
+        machine.store_word(0x10000, 77)
+        assert machine.load_word(0x10000) == 77
+        assert machine.stats.stores == 1
+
+    def test_ct_ops_counted(self, machine):
+        machine.ctload(0x10000)
+        machine.ctstore(0x10000, 0)
+        assert machine.stats.ct_loads == 1
+        assert machine.stats.ct_stores == 1
+        assert machine.stats.l1d_refs == 2
+
+    def test_charge_memory(self, machine):
+        machine.charge_memory(100, 1.0)
+        assert machine.stats.l1d_refs == 100
+        assert machine.stats.cycles == 100 * 1.0
+
+    def test_uncached_ops(self, machine):
+        machine.store_word_uncached(0x10000, 9)
+        assert machine.load_word_uncached(0x10000) == 9
+        assert machine.hierarchy.where(0x10000) == []
+        assert machine.dram.stats.accesses == 2
+
+    def test_reset_stats_preserves_cache_contents(self, machine):
+        machine.load_word(0x10000)
+        machine.reset_stats()
+        assert machine.stats.cycles == 0
+        assert 0x10000 in machine.l1d
+
+
+class TestSnapshot:
+    def test_snapshot_keys(self, machine):
+        machine.load_word(0x10000)
+        snap = machine.snapshot()
+        for key in (
+            "insts",
+            "l1i_refs",
+            "l1d_refs",
+            "cycles",
+            "l1d_hits",
+            "l1d_misses",
+            "l2_hits",
+            "llc_misses",
+            "dram_accesses",
+            "llc_miss_total",
+            "bia_lookups",
+        ):
+            assert key in snap
+
+    def test_snapshot_counts_dram(self, machine):
+        machine.load_word(0x10000)
+        assert machine.snapshot()["dram_accesses"] == 1
+
+
+class TestAttackerActor:
+    def test_attacker_not_in_victim_stats(self, machine):
+        machine.attacker_load(0x10000)
+        assert machine.stats.l1d_refs == 0
+        assert machine.stats.cycles == 0
+
+    def test_attacker_latency_reveals_misses(self, machine):
+        cold = machine.attacker_load(0x10000)
+        warm = machine.attacker_load(0x10000)
+        assert cold > warm == machine.l1d.latency
+
+    def test_attacker_flush(self, machine):
+        machine.load_word(0x10000)
+        machine.attacker_flush(0x10000)
+        assert machine.hierarchy.where(0x10000) == []
+
+    def test_attacker_evict_single_level(self, machine):
+        machine.load_word(0x10000)
+        machine.attacker_evict("L1D", 0x10000)
+        assert machine.hierarchy.where(0x10000) == ["L2", "LLC"]
+
+
+class TestConfig:
+    def test_table1_defaults(self):
+        config = MachineConfig()
+        desc = config.describe()
+        assert "64 KB" in desc["L1d cache"]
+        assert "1 MB" in desc["L2 cache"]
+        assert "16 MB" in desc["Last Level cache"]
+        assert "1 KB" in desc["BIA"]
+        assert "L1D" in desc["BIA"]
+
+    def test_build_machine_levels(self):
+        assert build_machine("L1D").bia.monitored_cache == "L1D"
+        assert build_machine("L2").bia.monitored_cache == "L2"
+
+    def test_custom_costs(self):
+        machine = build_machine(costs=CostModel(cpi=2.0))
+        machine.execute(5)
+        assert machine.stats.cycles == 10.0
+
+    def test_bad_bia_level(self):
+        with pytest.raises(ConfigurationError):
+            build_machine("L4")
+
+    def test_replacement_policy_override(self):
+        machine = Machine(MachineConfig(replacement="fifo"))
+        assert machine.l1d.replacement == "fifo"
+
+    def test_prefetcher_wiring(self):
+        machine = Machine(MachineConfig(prefetcher=True))
+        assert machine.hierarchy.prefetcher is not None
+        machine = Machine(MachineConfig())
+        assert machine.hierarchy.prefetcher is None
+
+
+class TestCostModelValidation:
+    def test_rejects_bad_cpi(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(cpi=0)
+
+    def test_rejects_negative_insts(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(bia_call_insts=-1)
+
+    def test_defaults_valid(self):
+        CostModel()  # must not raise
+
+
+class TestDRAMPolicy:
+    def test_default_closed(self):
+        machine = Machine(MachineConfig())
+        assert machine.dram.policy == "closed"
+
+    def test_open_policy_wiring(self):
+        machine = Machine(MachineConfig(dram_policy="open"))
+        machine.load_word(0x10000)  # cold miss opens the row
+        assert machine.dram.stats.row_conflicts == 1
+
+    def test_open_policy_row_hit_is_cheaper(self):
+        """Two uncached accesses to the same row: the second is a row
+        hit under the open policy, full latency under the closed one."""
+        closed = Machine(MachineConfig())
+        opened = Machine(MachineConfig(dram_policy="open"))
+        for m in (closed, opened):
+            m.load_word_uncached(0x10000)
+            m.reset_stats()
+            m.load_word_uncached(0x10040)  # same row
+        assert closed.stats.cycles == closed.dram.latency
+        assert opened.stats.cycles == opened.dram.row_hit_latency

@@ -1,0 +1,89 @@
+"""Sec. 6.2 macro-operations: bitmap hiding + privilege enforcement."""
+
+import pytest
+
+from repro.core.machine import Machine, MachineConfig
+from repro.core.macro_ops import MacroOpUnit
+from repro.errors import ProtocolError
+
+
+@pytest.fixture
+def unit_setup():
+    machine = Machine(MachineConfig())
+    unit = MacroOpUnit(machine)
+    base = machine.allocator.alloc_words(300)
+    for i in range(300):
+        machine.memory.write_word(base + 4 * i, 1000 + i)
+    handle = unit.define_ds(base, 1200, "arr")
+    return machine, unit, base, handle
+
+
+class TestMacroOps:
+    def test_secure_load(self, unit_setup):
+        machine, unit, base, handle = unit_setup
+        assert unit.secure_load(handle, base + 4 * 42) == 1042
+
+    def test_secure_store(self, unit_setup):
+        machine, unit, base, handle = unit_setup
+        unit.secure_store(handle, base + 4 * 42, 7)
+        assert unit.secure_load(handle, base + 4 * 42) == 7
+
+    def test_secure_rmw(self, unit_setup):
+        machine, unit, base, handle = unit_setup
+        old = unit.secure_rmw(handle, base, lambda v: v + 5)
+        assert old == 1000
+        assert unit.secure_load(handle, base) == 1005
+
+    def test_secure_gather(self, unit_setup):
+        machine, unit, base, handle = unit_setup
+        assert unit.secure_gather(handle, [base, base + 4 * 10]) == [1000, 1010]
+
+    def test_unknown_handle(self, unit_setup):
+        machine, unit, base, handle = unit_setup
+        with pytest.raises(ProtocolError):
+            unit.secure_load(handle + 99, base)
+
+    def test_macro_api_returns_no_bitmaps(self, unit_setup):
+        """The whole point of Sec. 6.2: only data crosses the boundary."""
+        machine, unit, base, handle = unit_setup
+        result = unit.secure_load(handle, base)
+        assert isinstance(result, int)
+        assert unit.secure_store(handle, base, 1) is None
+
+
+class TestUserMode:
+    def test_raw_ct_ops_blocked_in_user_mode(self, unit_setup):
+        machine, unit, base, handle = unit_setup
+        unit.enter_user_mode()
+        with pytest.raises(ProtocolError):
+            machine.ctload(base)
+        with pytest.raises(ProtocolError):
+            machine.ctstore(base, 0)
+
+    def test_macro_ops_still_work_in_user_mode(self, unit_setup):
+        machine, unit, base, handle = unit_setup
+        unit.enter_user_mode()
+        assert unit.secure_load(handle, base + 4) == 1001
+        unit.secure_store(handle, base + 4, 9)
+        assert unit.secure_load(handle, base + 4) == 9
+
+    def test_exit_user_mode_restores_raw_ops(self, unit_setup):
+        machine, unit, base, handle = unit_setup
+        unit.enter_user_mode()
+        unit.exit_user_mode()
+        machine.ctload(base)  # must not raise
+
+    def test_define_ds_in_user_mode(self, unit_setup):
+        machine, unit, base, handle = unit_setup
+        unit.enter_user_mode()
+        other = machine.allocator.alloc_words(64)
+        h2 = unit.define_ds(other, 256, "small")
+        assert unit.secure_load(h2, other) == 0
+
+    def test_privilege_survives_nested_macro_ops(self, unit_setup):
+        machine, unit, base, handle = unit_setup
+        unit.enter_user_mode()
+        # rmw nests load+store inside one microcode scope
+        unit.secure_rmw(handle, base, lambda v: v + 1)
+        with pytest.raises(ProtocolError):
+            machine.ctload(base)  # back outside microcode: still blocked

@@ -1,0 +1,55 @@
+"""Control-flow linearization helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ct import cfl
+
+INTS = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+class TestSelect:
+    def test_select(self, machine):
+        assert cfl.ct_select(machine, True, 1, 2) == 1
+        assert cfl.ct_select(machine, False, 1, 2) == 2
+
+    def test_select_charges_one_inst(self, machine):
+        cfl.ct_select(machine, True, 1, 2)
+        assert machine.stats.insts == 1
+
+    def test_merge_is_select(self, machine):
+        assert cfl.ct_merge(machine, True, 10, 20) == 10
+
+
+class TestPredicates:
+    def test_eq(self, machine):
+        assert cfl.ct_eq(machine, 3, 3)
+        assert not cfl.ct_eq(machine, 3, 4)
+
+    def test_lt(self, machine):
+        assert cfl.ct_lt(machine, 1, 2)
+        assert not cfl.ct_lt(machine, 2, 2)
+
+    @given(INTS, INTS)
+    def test_min_matches_builtin(self, a, b):
+        from repro.core.machine import Machine
+
+        machine = Machine()
+        assert cfl.ct_min(machine, a, b) == min(a, b)
+
+    @given(INTS)
+    def test_abs_matches_builtin(self, v):
+        from repro.core.machine import Machine
+
+        machine = Machine()
+        assert cfl.ct_abs(machine, v) == abs(v)
+
+
+class TestInstructionAccounting:
+    def test_each_helper_charges(self, machine):
+        cfl.ct_eq(machine, 1, 2)
+        cfl.ct_lt(machine, 1, 2)
+        cfl.ct_min(machine, 1, 2)
+        cfl.ct_abs(machine, -5)
+        cfl.ct_select(machine, True, 0, 1)
+        assert machine.stats.insts == 2 + 2 + 2 + 3 + 1

@@ -1,0 +1,156 @@
+"""Security: trace equivalence across secrets (the Sec. 5.3 property).
+
+For every workload and every mitigated scheme, the attacker-observable
+trace (fills, evictions, dirty transitions, LRU updates, final cache
+state) must be identical for different secret inputs; the insecure
+version must differ (otherwise the test itself has no power).
+"""
+
+import pytest
+
+from repro.attacks.analysis import (
+    check_trace_equivalence,
+    distinguishability,
+    observe_run,
+)
+from repro.attacks.observer import ObservableTraceRecorder
+from repro.core.machine import Machine, MachineConfig
+from repro.ct.bia_ops import BIAContext
+from repro.ct.context import InsecureContext
+from repro.ct.linearize import SoftwareCTContext
+from repro.errors import SecurityViolationError
+from repro.workloads import WORKLOADS
+
+SMALL = {
+    "histogram": 300,
+    "permutation": 200,
+    "binary_search": 300,
+    "heappop": 300,
+    "dijkstra": 16,
+}
+
+SECRETS = [1, 2, 3, 4]
+
+
+def machine_factory():
+    return Machine(MachineConfig())
+
+
+def make_victim_factory(scheme, workload, size):
+    def victim_factory(secret):
+        def victim(machine):
+            if scheme == "insecure":
+                ctx = InsecureContext(machine)
+            elif scheme == "ct":
+                ctx = SoftwareCTContext(machine, simd=True)
+            elif scheme == "ct-scalar":
+                ctx = SoftwareCTContext(machine, simd=False)
+            else:
+                ctx = BIAContext(machine)
+            WORKLOADS[workload].run(ctx, size, secret)
+
+        return victim
+
+    return victim_factory
+
+
+@pytest.mark.parametrize("workload", sorted(SMALL))
+class TestMitigatedSchemesAreSilent:
+    def test_software_ct(self, workload):
+        obs = check_trace_equivalence(
+            machine_factory,
+            make_victim_factory("ct", workload, SMALL[workload]),
+            SECRETS,
+        )
+        assert distinguishability(obs) == 0.0
+
+    def test_bia(self, workload):
+        obs = check_trace_equivalence(
+            machine_factory,
+            make_victim_factory("bia", workload, SMALL[workload]),
+            SECRETS,
+        )
+        assert distinguishability(obs) == 0.0
+
+
+@pytest.mark.parametrize("workload", sorted(SMALL))
+def test_insecure_leaks(workload):
+    """Sanity: the same checker flags the unmitigated program."""
+    with pytest.raises(SecurityViolationError):
+        check_trace_equivalence(
+            machine_factory,
+            make_victim_factory("insecure", workload, SMALL[workload]),
+            SECRETS,
+        )
+
+
+class TestL2BIASecurity:
+    def test_histogram_with_l2_bia(self):
+        def factory():
+            return Machine(MachineConfig(bia_level="L2"))
+
+        obs = check_trace_equivalence(
+            factory, make_victim_factory("bia", "histogram", 300), SECRETS
+        )
+        assert distinguishability(obs) == 0.0
+
+
+class TestScalarCT:
+    def test_histogram_scalar_ct(self):
+        obs = check_trace_equivalence(
+            machine_factory,
+            make_victim_factory("ct-scalar", "histogram", 300),
+            SECRETS,
+        )
+        assert distinguishability(obs) == 0.0
+
+
+class TestCTOpInvisibility:
+    """CT micro-ops must produce zero observable events (Sec. 4.1)."""
+
+    def test_ctload_produces_no_events(self):
+        machine = Machine(MachineConfig())
+        machine.load_word(0x10000)
+        rec = ObservableTraceRecorder()
+        for level in machine.hierarchy.levels:
+            rec.attach(level)
+        machine.ctload(0x10000)  # hit
+        machine.ctload(0x20000)  # miss
+        assert rec.events == []
+
+    def test_ctstore_produces_no_events(self):
+        machine = Machine(MachineConfig())
+        machine.store_word(0x10000, 1)
+        rec = ObservableTraceRecorder()
+        for level in machine.hierarchy.levels:
+            rec.attach(level)
+        machine.ctstore(0x10000, 2)  # dirty hit: commits silently
+        machine.ctstore(0x20000, 3)  # miss: does nothing
+        assert rec.events == []
+
+    def test_fetch_set_is_secret_independent(self):
+        """Two BIA loads of different addresses in an identically
+        prepared DS issue the same state-changing accesses."""
+        digests = []
+        for target in (5, 200):
+            machine = Machine(MachineConfig())
+            ctx = BIAContext(machine)
+            base = machine.allocator.alloc_words(300)
+            for i in range(300):
+                machine.memory.write_word(base + 4 * i, i)
+            ds = ctx.register_ds(base, 1200, "a")
+            rec = ObservableTraceRecorder()
+            for level in machine.hierarchy.levels:
+                rec.attach(level)
+            ctx.load(ds, base + 4 * target)
+            digests.append(rec.digest())
+        assert digests[0] == digests[1]
+
+    def test_observation_helper(self):
+        obs = observe_run(
+            machine_factory,
+            lambda m: m.load_word(0x10000),
+            secret_id=7,
+        )
+        assert obs.secret_id == 7
+        assert obs.digest

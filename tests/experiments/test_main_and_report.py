@@ -1,0 +1,62 @@
+"""The CLI entry point and text-report utilities."""
+
+import pytest
+
+from repro.experiments.__main__ import TARGETS, main
+from repro.experiments.report import format_bars, format_table
+
+
+class TestMainCLI:
+    def test_all_targets_registered(self):
+        assert set(TARGETS) == {
+            "table1",
+            "motivation",
+            "fig2",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "headline",
+            "json",
+        }
+
+    def test_unknown_target_exit_code(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown targets" in capsys.readouterr().out
+
+    def test_single_target_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "done in" in out
+
+
+class TestFormatBars:
+    def test_basic_render(self):
+        text = format_bars([("a", 1.0), ("b", 2.0)], width=10, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a | #####")
+        assert lines[2].startswith("b | ##########")
+
+    def test_zero_values(self):
+        text = format_bars([("a", 0.0), ("b", 0.0)])
+        assert "a" in text and "b" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in format_bars([])
+
+    def test_labels_aligned(self):
+        text = format_bars([("short", 1), ("a-long-label", 2)])
+        bars = [line.index("|") for line in text.splitlines()]
+        assert len(set(bars)) == 1
+
+
+class TestFormatTableEdges:
+    def test_non_numeric_cells(self):
+        text = format_table(["k", "v"], [("x", None), ("y", "flag")])
+        assert "None" in text and "flag" in text
+
+    def test_single_column(self):
+        text = format_table(["only"], [(1,), (2,)])
+        assert "only" in text

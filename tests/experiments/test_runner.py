@@ -1,0 +1,84 @@
+"""Experiment runner and scheme factories."""
+
+import pytest
+
+from repro.ct.bia_ops import BIAContext
+from repro.ct.context import InsecureContext
+from repro.ct.linearize import SoftwareCTContext
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    SCHEMES,
+    build_context,
+    context_factories,
+    default_config,
+)
+from repro.experiments.runner import overhead, run_crypto, run_workload, sweep
+
+
+class TestBuildContext:
+    def test_all_schemes_buildable(self):
+        for scheme in SCHEMES:
+            ctx = build_context(scheme)
+            assert ctx.machine is not None
+
+    def test_scheme_types(self):
+        assert isinstance(build_context("insecure"), InsecureContext)
+        assert isinstance(build_context("ct"), SoftwareCTContext)
+        assert build_context("ct").simd is True
+        assert build_context("ct-scalar").simd is False
+        assert isinstance(build_context("bia-l1d"), BIAContext)
+
+    def test_bia_levels(self):
+        assert build_context("bia-l1d").machine.config.bia_level == "L1D"
+        assert build_context("bia-l2").machine.config.bia_level == "L2"
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            build_context("oracle")
+
+    def test_factories(self):
+        factories = context_factories()
+        assert set(factories) == set(SCHEMES)
+        assert isinstance(factories["ct"](), SoftwareCTContext)
+
+    def test_fresh_machines(self):
+        a = build_context("ct")
+        b = build_context("ct")
+        assert a.machine is not b.machine
+
+
+class TestRunWorkload:
+    def test_result_fields(self):
+        result = run_workload("histogram", 300, "insecure", seed=1)
+        assert result.label == "hist_300"
+        assert result.cycles > 0
+        assert result.counters["l1d_refs"] > 0
+        assert sum(result.output) > 0
+
+    def test_overhead_of_self_is_one(self):
+        a = run_workload("histogram", 300, "insecure")
+        b = run_workload("histogram", 300, "insecure")
+        assert overhead(a, b) == pytest.approx(1.0)
+
+    def test_mitigation_costs_more(self):
+        base = run_workload("histogram", 300, "insecure")
+        ct = run_workload("histogram", 300, "ct")
+        assert overhead(ct, base) > 1.0
+
+    def test_sweep_shape(self):
+        data = sweep("histogram", [200, 300], ["insecure", "ct"])
+        assert set(data) == {200, 300}
+        assert set(data[200]) == {"insecure", "ct"}
+
+
+class TestRunCrypto:
+    def test_crypto_result(self):
+        result = run_crypto("XOR", "insecure")
+        assert result.label == "XOR"
+        assert result.cycles > 0
+
+    def test_default_config_is_table1(self):
+        config = default_config()
+        assert config.l1d_size == 64 * 1024
+        assert config.llc_latency == 41
+        assert config.dram_latency == 200

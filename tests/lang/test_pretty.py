@@ -1,0 +1,68 @@
+"""IR pretty-printer (plain and taint-annotated)."""
+
+from repro.lang.ir import ArrayDecl, BinOp, Const, For, If, Load, Program, Select, Store
+from repro.lang.pretty import dump
+from repro.lang.programs import histogram_program, lookup_program
+from repro.lang.taint import analyze
+
+
+class TestPlainDump:
+    def test_lookup_program(self):
+        program, _ = lookup_program(64)
+        text = dump(program)
+        assert "program lookup:" in text
+        assert "secrets: key!" in text
+        assert "t = key mod 64" in text
+        assert "out = table[t]" in text
+        assert "return out" in text
+
+    def test_structured_statements(self):
+        program = Program(
+            name="shapes",
+            inputs=("p",),
+            arrays=(ArrayDecl("a", 4, secret=True),),
+            body=(
+                If("p", then_body=(Const("x", 1),), else_body=(Const("x", 2),)),
+                For("i", 3, (Store("a", "i", 0),)),
+                Select("y", "p", 1, 2),
+            ),
+            output_arrays=("a",),
+        )
+        text = dump(program)
+        assert "if p:" in text
+        assert "else:" in text
+        assert "for i in range(3):" in text
+        assert "y = p ? 1 : 2" in text
+        assert "array  : a![4]" in text
+        assert "return arrays a" in text
+
+    def test_empty_loop_body(self):
+        program = Program(name="e", body=(For("i", 2, ()),))
+        assert "pass" in dump(program)
+
+
+class TestAnnotatedDump:
+    def test_histogram_annotations(self):
+        program, _ = histogram_program(64, 8)
+        report = analyze(program)
+        text = dump(program, report)
+        assert "[linearize]" in text  # the secret branch
+        assert "[DS: out]" in text  # the secret-indexed RMW
+        assert "v!" in text  # tainted register marked
+
+    def test_public_program_has_no_annotations(self):
+        program = Program(
+            name="pub",
+            inputs=("p",),
+            arrays=(ArrayDecl("a", 4),),
+            body=(
+                BinOp("x", "add", "p", 1),
+                Load("y", "a", 0),
+                If("p", then_body=(Const("z", 1),)),
+            ),
+            outputs=("y",),
+        )
+        text = dump(program, analyze(program))
+        assert "[linearize]" not in text
+        assert "[DS:" not in text
+        assert "!" not in text.replace("pub", "")

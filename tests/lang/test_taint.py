@@ -1,0 +1,173 @@
+"""Taint analysis: propagation, implicit flows, rejections."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.lang.ir import (
+    ArrayDecl,
+    BinOp,
+    Const,
+    For,
+    If,
+    Load,
+    Program,
+    Select,
+    Store,
+)
+from repro.lang.taint import analyze
+
+
+def prog(body, secret_inputs=(), inputs=(), arrays=()):
+    return Program(
+        name="t",
+        inputs=tuple(inputs),
+        secret_inputs=tuple(secret_inputs),
+        arrays=tuple(arrays),
+        body=tuple(body),
+    )
+
+
+class TestPropagation:
+    def test_secret_inputs_are_tainted(self):
+        report = analyze(prog([], secret_inputs=("k",)))
+        assert "k" in report.tainted_regs
+
+    def test_binop_propagates(self):
+        report = analyze(
+            prog([BinOp("x", "add", "k", 1)], secret_inputs=("k",))
+        )
+        assert "x" in report.tainted_regs
+
+    def test_public_computation_untainted(self):
+        report = analyze(
+            prog(
+                [Const("a", 1), BinOp("b", "add", "a", 2)],
+                secret_inputs=("k",),
+            )
+        )
+        assert "b" not in report.tainted_regs
+
+    def test_select_propagates_from_any_operand(self):
+        report = analyze(
+            prog([Select("x", "k", 1, 2)], secret_inputs=("k",))
+        )
+        assert "x" in report.tainted_regs
+
+    def test_secret_array_load_taints(self):
+        report = analyze(
+            prog(
+                [Load("v", "data", 0)],
+                arrays=[ArrayDecl("data", 4, secret=True)],
+            )
+        )
+        assert "v" in report.tainted_regs
+
+    def test_secret_index_marks_array(self):
+        report = analyze(
+            prog(
+                [Load("v", "table", "k")],
+                secret_inputs=("k",),
+                arrays=[ArrayDecl("table", 4)],
+            )
+        )
+        assert "table" in report.secret_indexed_arrays
+        assert "v" in report.tainted_regs
+
+    def test_tainted_store_taints_array_contents(self):
+        report = analyze(
+            prog(
+                [
+                    Store("a", 0, "k"),
+                    Load("v", "a", 1),
+                ],
+                secret_inputs=("k",),
+                arrays=[ArrayDecl("a", 4)],
+            )
+        )
+        assert "a" in report.tainted_arrays
+        assert "v" in report.tainted_regs  # reading the now-secret array
+
+    def test_loop_carried_taint_reaches_fixpoint(self):
+        """x is tainted only via the previous iteration's store."""
+        body = [
+            Const("x", 0),
+            For(
+                "i",
+                4,
+                (
+                    Load("y", "a", 0),
+                    BinOp("x", "add", "y", 0),
+                    Store("a", 0, "k"),
+                ),
+            ),
+        ]
+        report = analyze(
+            prog(body, secret_inputs=("k",), arrays=[ArrayDecl("a", 4)])
+        )
+        assert "x" in report.tainted_regs
+
+
+class TestImplicitFlows:
+    def test_secret_branch_detected(self):
+        stmt = If("k", then_body=(Const("x", 1),))
+        report = analyze(prog([stmt], secret_inputs=("k",)))
+        assert report.is_secret_branch(stmt)
+        assert "x" in report.tainted_regs  # written under a secret
+
+    def test_public_branch_not_linearized(self):
+        stmt = If("p", then_body=(Const("x", 1),))
+        report = analyze(prog([Const("p", 1), stmt], secret_inputs=("k",)))
+        assert not report.is_secret_branch(stmt)
+        assert "x" not in report.tainted_regs
+
+    def test_store_under_secret_taints_array(self):
+        report = analyze(
+            prog(
+                [If("k", then_body=(Store("a", 0, 1),))],
+                secret_inputs=("k",),
+                arrays=[ArrayDecl("a", 4)],
+            )
+        )
+        assert "a" in report.tainted_arrays
+        assert "a" in report.secret_indexed_arrays
+
+    def test_nested_branch_inherits_secrecy(self):
+        inner = If(1, then_body=(Const("y", 1),))
+        outer = If("k", then_body=(inner,))
+        report = analyze(prog([outer], secret_inputs=("k",)))
+        assert report.is_secret_branch(inner)
+
+
+class TestRejections:
+    def test_secret_trip_count_rejected(self):
+        with pytest.raises(ProtocolError):
+            analyze(prog([For("i", "k", ())], secret_inputs=("k",)))
+
+    def test_loop_under_secret_branch_rejected(self):
+        with pytest.raises(ProtocolError):
+            analyze(
+                prog(
+                    [If("k", then_body=(For("i", 4, ()),))],
+                    secret_inputs=("k",),
+                )
+            )
+
+    def test_non_strict_mode_tolerates(self):
+        analyze(
+            prog([For("i", "k", ())], secret_inputs=("k",)), strict=False
+        )
+
+    def test_bad_op_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            BinOp("x", "pow", 1, 2)
+
+    def test_duplicate_arrays_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Program(
+                name="bad",
+                arrays=(ArrayDecl("a", 1), ArrayDecl("a", 2)),
+            )
+
+    def test_input_both_public_and_secret_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Program(name="bad", inputs=("k",), secret_inputs=("k",))

@@ -1,0 +1,126 @@
+"""Memory-controller contention channel (Sec. 2.2)."""
+
+from repro.core.machine import Machine, MachineConfig
+from repro.ct.bia_ops import BIAContext
+from repro.ct.context import InsecureContext
+from repro.memory.controller import MemoryController, victim_traffic_profile
+from repro.memory.dram import DRAM
+from repro.workloads import WORKLOADS
+
+
+class TestController:
+    def test_uncontended_probe_has_no_queue_delay(self):
+        ctrl = MemoryController(DRAM())
+        assert ctrl.probe(now=0.0) == ctrl.dram.latency
+
+    def test_back_to_back_requests_queue(self):
+        ctrl = MemoryController(DRAM(latency=200))
+        first = ctrl.read_line(0x1000, now=0.0)
+        second = ctrl.read_line(0x2000, now=10.0)  # controller busy
+        assert first == 200
+        assert second == 190 + 200  # wait out the remaining busy time
+
+    def test_spaced_requests_do_not_queue(self):
+        ctrl = MemoryController(DRAM(latency=200))
+        ctrl.read_line(0x1000, now=0.0)
+        assert ctrl.read_line(0x2000, now=500.0) == 200
+
+    def test_probe_reveals_victim_activity(self):
+        """The [42] attack: a probe right after victim traffic sees a
+        queueing delay; a probe into silence sees none."""
+        ctrl = MemoryController(DRAM(latency=200))
+        ctrl.read_line(0x1000, now=1000.0)  # victim request
+        busy_probe = ctrl.probe(now=1050.0)
+        idle_probe = ctrl.probe(now=5000.0)
+        assert busy_probe > idle_probe == 200
+
+    def test_contention_counters(self):
+        ctrl = MemoryController(DRAM(latency=200))
+        ctrl.read_line(0x1000, now=0.0)
+        ctrl.write_line(0x2000, now=50.0)
+        assert ctrl.stats.requests == 2
+        assert ctrl.stats.contended == 1
+        assert ctrl.stats.total_queue_delay == 150.0
+
+    def test_probe_log(self):
+        ctrl = MemoryController(DRAM())
+        ctrl.probe(now=3.0)
+        assert ctrl.stats.probe_log == [(3.0, 0.0)]
+
+
+class TestVictimTrafficProfile:
+    def _histogram_victim(self, scheme, secret):
+        def run(machine):
+            ctx = (
+                InsecureContext(machine)
+                if scheme == "insecure"
+                else BIAContext(machine)
+            )
+            WORKLOADS["histogram"].run(ctx, 300, secret)
+
+        return run
+
+    def test_profile_counts_dram_traffic(self):
+        machine = Machine(MachineConfig())
+        profile = victim_traffic_profile(
+            machine, self._histogram_victim("insecure", 1)
+        )
+        assert sum(profile) > 0
+
+    def test_taps_are_removed_after_profiling(self):
+        machine = Machine(MachineConfig())
+        victim_traffic_profile(machine, self._histogram_victim("insecure", 1))
+        assert machine.dram.read_line.__name__ == "read_line"
+
+    def test_mitigated_traffic_profile_is_secret_independent(self):
+        """Sec. 2.4's claim: after linearization, memory-controller
+        observations carry no secret (identical traffic timelines)."""
+        profiles = set()
+        for secret in (1, 2, 3):
+            machine = Machine(MachineConfig())
+            profiles.add(
+                tuple(
+                    victim_traffic_profile(
+                        machine, self._histogram_victim("bia", secret)
+                    )
+                )
+            )
+        assert len(profiles) == 1
+
+    def test_secret_dependent_volume_is_visible(self):
+        """What the channel catches: a victim whose DRAM traffic
+        VOLUME depends on the secret (e.g. a secret trip count — the
+        class of leak the taint analysis rejects outright)."""
+
+        def leaky_victim(secret):
+            def run(machine):
+                for i in range(secret * 5):
+                    machine.load_word_uncached(0x10000 + 64 * i)
+
+            return run
+
+        profiles = {
+            tuple(
+                victim_traffic_profile(
+                    Machine(MachineConfig()), leaky_victim(secret)
+                )
+            )
+            for secret in (1, 2, 3)
+        }
+        assert len(profiles) == 3
+
+    def test_warm_insecure_histogram_is_controller_silent(self):
+        """Conversely: at cache-resident sizes even the INSECURE
+        histogram has secret-independent DRAM traffic — the paper's
+        motivation table's 'LL misses barely move' row.  The leak
+        lives in the cache, not the controller."""
+        profiles = {
+            tuple(
+                victim_traffic_profile(
+                    Machine(MachineConfig()),
+                    self._histogram_victim("insecure", secret),
+                )
+            )
+            for secret in (1, 2, 3)
+        }
+        assert len(profiles) == 1

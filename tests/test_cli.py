@@ -1,0 +1,68 @@
+"""The python -m repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quicksort"])
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "histogram", "--scheme", "magic"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "histogram", "--size", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "hist_500" in out
+        assert "bia-l1d" in out
+
+    def test_run_with_bars_and_scheme_subset(self, capsys):
+        code = main(
+            [
+                "run",
+                "histogram",
+                "--size",
+                "500",
+                "--scheme",
+                "insecure",
+                "--scheme",
+                "bia-l1d",
+                "--bars",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ct " not in out  # only requested schemes
+        assert "#" in out  # bars drawn
+
+    def test_crypto(self, capsys):
+        assert main(["crypto", "XOR"]) == 0
+        assert "XOR" in capsys.readouterr().out
+
+    def test_config(self, capsys):
+        assert main(["config"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "bia-l1d" in out and "insecure" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "dijkstra" in out and "crypto:AES" in out
+
+    def test_experiments_delegation(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out

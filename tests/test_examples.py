@@ -1,0 +1,33 @@
+"""Smoke tests: every example script must run and print its story."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["secure load", "CTLoad ops"],
+    "secure_histogram.py": ["histogram with", "bia-l1d", "checksum"],
+    "attack_demo.py": ["LEAKED", "no leak"],
+    "aes_ttable.py": ["ciphertext", "identical under every mitigation"],
+    "l1_vs_l2_bia.py": ["dij_128", "winner"],
+    "mini_compiler.py": ["secret branches found", "identical bin counts"],
+    "oblivious_kv.py": ["cycles / query", "identical    -> True"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    for marker in CASES[script]:
+        assert marker in out, f"{script}: missing {marker!r}"
+
+
+def test_example_inventory_is_tested():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), "update CASES when adding examples"

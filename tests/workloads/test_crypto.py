@@ -1,0 +1,91 @@
+"""Crypto workloads: real-algorithm validation + cross-scheme equality."""
+
+import pytest
+
+from repro.experiments.config import build_context
+from repro.workloads import crypto
+
+SCHEMES = ["insecure", "ct", "bia-l1d", "bia-l2"]
+
+
+class TestAESPrimitives:
+    def test_sbox_known_values(self):
+        assert crypto.SBOX[0x00] == 0x63
+        assert crypto.SBOX[0x01] == 0x7C
+        assert crypto.SBOX[0x53] == 0xED
+        assert crypto.SBOX[0xFF] == 0x16
+
+    def test_sbox_is_a_permutation(self):
+        assert sorted(crypto.SBOX) == list(range(256))
+
+    def test_te0_consistent_with_sbox(self):
+        for x in (0, 1, 0x53, 0xFF):
+            s = crypto.SBOX[x]
+            packed = crypto.TE0[x]
+            assert (packed >> 16) & 0xFF == s
+            assert (packed >> 8) & 0xFF == s
+
+    def test_fips197_vector(self):
+        """FIPS-197 Appendix B."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        ct = crypto.aes_encrypt_reference(key, [pt])
+        assert ct.hex() == "3925841d02dc09fbdc118597196a0b32"
+
+    def test_key_expansion_length(self):
+        rk = crypto.aes_expand_key(b"\x00" * 16, crypto.SBOX.__getitem__)
+        assert len(rk) == 44
+
+    def test_simulated_aes_equals_reference(self):
+        ctx = build_context("insecure")
+        out = crypto.run_aes(ctx, seed=3)
+        key = crypto._secret_key(3)
+        rng = crypto.make_rng(17, 3)
+        blocks = [
+            bytes(rng.randrange(256) for _ in range(16))
+            for _ in range(crypto.AES_BLOCKS)
+        ]
+        assert out == crypto.aes_encrypt_reference(key, blocks)
+
+
+class TestRC4:
+    def test_simulated_rc4_equals_reference(self):
+        ctx = build_context("insecure")
+        assert crypto.run_arc4(ctx, seed=2) == crypto.rc4_reference(2)
+
+    def test_rc4_reference_keystream_varies_with_key(self):
+        assert crypto.rc4_reference(1) != crypto.rc4_reference(2)
+
+
+@pytest.mark.parametrize("cipher", sorted(crypto.CIPHERS))
+def test_all_schemes_agree(cipher):
+    outputs = []
+    for scheme in SCHEMES:
+        ctx = build_context(scheme)
+        outputs.append(crypto.CIPHERS[cipher](ctx, 7))
+    assert all(o == outputs[0] for o in outputs)
+
+
+@pytest.mark.parametrize("cipher", sorted(crypto.CIPHERS))
+def test_output_depends_on_seed(cipher):
+    a = crypto.CIPHERS[cipher](build_context("insecure"), 1)
+    b = crypto.CIPHERS[cipher](build_context("insecure"), 2)
+    assert a != b
+
+
+class TestWorkloadShape:
+    def test_xor_issues_no_secret_accesses(self):
+        ctx = build_context("bia-l1d")
+        crypto.run_xor(ctx, 1)
+        assert ctx.machine.stats.ct_loads == 0
+        assert ctx.machine.stats.ct_stores == 0
+
+    def test_blowfish_is_write_heavy(self):
+        ctx = build_context("bia-l1d")
+        crypto.run_blowfish(ctx, 1)
+        assert ctx.machine.stats.ct_stores > 0
+
+    def test_aes_is_read_only(self):
+        ctx = build_context("bia-l1d")
+        crypto.run_aes(ctx, 1)
+        assert ctx.machine.stats.ct_stores == 0

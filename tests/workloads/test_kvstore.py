@@ -1,0 +1,100 @@
+"""The oblivious KV store application."""
+
+import pytest
+
+from repro.attacks.observer import ObservableTraceRecorder
+from repro.core.machine import Machine, MachineConfig
+from repro.ct.bia_ops import BIAContext
+from repro.ct.context import InsecureContext
+from repro.ct.linearize import SoftwareCTContext
+from repro.errors import ProtocolError
+from repro.workloads.kvstore import NOT_FOUND, ObliviousKVStore, build_demo_store
+
+SCHEMES = {
+    "insecure": InsecureContext,
+    "ct": SoftwareCTContext,
+    "bia": BIAContext,
+}
+
+
+def make_ctx(kind, machine=None):
+    return SCHEMES[kind](machine or Machine(MachineConfig()))
+
+
+@pytest.mark.parametrize("kind", sorted(SCHEMES))
+class TestFunctional:
+    def test_get_existing_keys(self, kind):
+        store, pairs = build_demo_store(make_ctx(kind), 200)
+        for key, value in pairs[::17]:
+            assert store.get(key) == value
+
+    def test_get_missing_key(self, kind):
+        store, pairs = build_demo_store(make_ctx(kind), 200)
+        absent = max(k for k, _ in pairs) + 1
+        assert store.get(absent) == NOT_FOUND
+        assert store.get(0) == NOT_FOUND  # below the smallest key
+
+    def test_put_updates_existing(self, kind):
+        store, pairs = build_demo_store(make_ctx(kind), 200)
+        key = pairs[37][0]
+        assert store.put(key, 123456)
+        assert store.get(key) == 123456
+
+    def test_put_missing_is_noop(self, kind):
+        store, pairs = build_demo_store(make_ctx(kind), 200)
+        absent = max(k for k, _ in pairs) + 1
+        assert not store.put(absent, 5)
+        for key, value in pairs[::29]:
+            assert store.get(key) == value
+
+    def test_get_many(self, kind):
+        store, pairs = build_demo_store(make_ctx(kind), 128)
+        keys = [pairs[0][0], pairs[100][0]]
+        assert store.get_many(keys) == [pairs[0][1], pairs[100][1]]
+
+
+class TestConstruction:
+    def test_duplicate_keys_last_wins(self):
+        store = ObliviousKVStore(make_ctx("insecure"), [(5, 1), (5, 2)])
+        assert store.get(5) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            ObliviousKVStore(make_ctx("insecure"), [])
+
+
+class TestObliviousness:
+    def _digest(self, kind, query_key):
+        machine = Machine(MachineConfig())
+        store, pairs = build_demo_store(make_ctx(kind, machine), 256)
+        recorder = ObservableTraceRecorder()
+        for level in machine.hierarchy.levels:
+            recorder.attach(level)
+        store.get(query_key)
+        store.put(query_key, 7)
+        return recorder.digest(), pairs
+
+    @pytest.mark.parametrize("kind", ["ct", "bia"])
+    def test_queries_are_trace_equivalent(self, kind):
+        digests = set()
+        _, pairs = self._digest(kind, 1)
+        probe_keys = [pairs[3][0], pairs[200][0], 12345]
+        for key in probe_keys:
+            digest, _ = self._digest(kind, key)
+            digests.add(digest)
+        assert len(digests) == 1
+
+    def test_insecure_queries_leak(self):
+        digests = set()
+        _, pairs = self._digest("insecure", 1)
+        for key in (pairs[3][0], pairs[200][0]):
+            digest, _ = self._digest("insecure", key)
+            digests.add(digest)
+        assert len(digests) == 2
+
+    def test_hit_and_miss_look_identical(self):
+        _, pairs = self._digest("bia", 1)
+        hit, _ = self._digest("bia", pairs[50][0])
+        # a miss probing near that key's position
+        miss, _ = self._digest("bia", pairs[50][0] + 1)
+        assert hit == miss

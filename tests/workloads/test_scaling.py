@@ -1,0 +1,40 @@
+"""Overhead ratios are independent of the simulated operation count.
+
+EXPERIMENTS.md claims the per-operation overhead ratios the figures
+report do not depend on the (simulation-budget-bounded) number of
+measured operations.  This test verifies it by scaling histogram's run
+length and comparing the CT and BIA overheads.
+"""
+
+import pytest
+
+from repro.experiments.runner import overhead, run_workload
+from repro.workloads import histogram
+
+
+def _overheads(n_inputs, monkeypatch, bins=1000):
+    monkeypatch.setattr(histogram, "N_INPUTS", n_inputs)
+    base = run_workload("histogram", bins, "insecure")
+    ct = overhead(run_workload("histogram", bins, "ct"), base)
+    bia = overhead(run_workload("histogram", bins, "bia-l1d"), base)
+    return ct, bia
+
+
+class TestOverheadStability:
+    def test_ratios_stable_when_run_length_doubles(self, monkeypatch):
+        ct_short, bia_short = _overheads(32, monkeypatch)
+        ct_long, bia_long = _overheads(72, monkeypatch)
+        assert ct_long == pytest.approx(ct_short, rel=0.15)
+        assert bia_long == pytest.approx(bia_short, rel=0.15)
+
+    def test_reduction_stable(self, monkeypatch):
+        ct_short, bia_short = _overheads(32, monkeypatch)
+        ct_long, bia_long = _overheads(72, monkeypatch)
+        assert ct_long / bia_long == pytest.approx(
+            ct_short / bia_short, rel=0.2
+        )
+
+    def test_results_still_correct_at_other_lengths(self, monkeypatch):
+        monkeypatch.setattr(histogram, "N_INPUTS", 20)
+        result = run_workload("histogram", 500, "bia-l1d")
+        assert result.output == histogram.reference(500, 1)

@@ -1,0 +1,146 @@
+"""The five Table-2 workloads: correctness under every mitigation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import build_context
+from repro.workloads import WORKLOADS
+from repro.workloads import binary_search, dijkstra, heappop, histogram, permutation
+
+SCHEMES = ["insecure", "ct", "ct-scalar", "bia-l1d", "bia-l2"]
+
+SMALL = {
+    "histogram": 400,
+    "permutation": 300,
+    "binary_search": 500,
+    "heappop": 400,
+    "dijkstra": 20,
+}
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_matches_reference(name, scheme):
+    descriptor = WORKLOADS[name]
+    size = SMALL[name]
+    ctx = build_context(scheme)
+    assert descriptor.run(ctx, size, seed=2) == descriptor.reference(size, 2)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_different_seeds_different_outputs(name):
+    descriptor = WORKLOADS[name]
+    size = SMALL[name]
+    outputs = {repr(descriptor.reference(size, seed)) for seed in range(4)}
+    assert len(outputs) > 1
+
+
+class TestDescriptors:
+    def test_labels(self):
+        assert WORKLOADS["dijkstra"].label(128) == "dij_128"
+        assert WORKLOADS["histogram"].label(1000) == "hist_1k"
+        assert WORKLOADS["binary_search"].label(10000) == "bin_10k"
+
+    def test_paper_size_sweeps(self):
+        assert WORKLOADS["dijkstra"].sizes == (32, 64, 96, 128)
+        assert WORKLOADS["histogram"].sizes == (1000, 2000, 4000, 6000, 8000)
+        assert WORKLOADS["binary_search"].sizes == (
+            2000,
+            4000,
+            6000,
+            8000,
+            10000,
+        )
+
+
+class TestHistogram:
+    def test_counts_sum_to_inputs(self):
+        out = histogram.reference(300, 1)
+        assert sum(out) == histogram.N_INPUTS
+
+    def test_run_counts_sum(self):
+        ctx = build_context("bia-l1d")
+        out = histogram.run(ctx, 300, 1)
+        assert sum(out) == histogram.N_INPUTS
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_reference_deterministic(self, seed):
+        assert histogram.reference(200, seed) == histogram.reference(200, seed)
+
+
+class TestDijkstra:
+    def test_source_distance_zero(self):
+        dist = dijkstra.reference(16, 1)
+        assert dist[0] == 0
+
+    def test_triangle_inequality(self):
+        size, seed = 16, 3
+        weights = dijkstra.generate_weights(size, seed)
+        dist = dijkstra.reference(size, seed)
+        for u in range(size):
+            for v in range(size):
+                if weights[u][v] and u != v:
+                    assert dist[v] <= dist[u] + weights[u][v]
+
+    def test_simulated_matches_reference_multiple_seeds(self):
+        for seed in (1, 5):
+            ctx = build_context("bia-l1d")
+            assert dijkstra.run(ctx, 16, seed) == dijkstra.reference(16, seed)
+
+
+class TestPermutation:
+    def test_inverse_property(self):
+        size, seed = 300, 2
+        b = permutation.generate_permutation(size, seed)
+        inverse = permutation.reference(size, seed)
+        for i, v in enumerate(b):
+            assert inverse[v] == i
+
+    def test_distinct_targets(self):
+        b = permutation.generate_permutation(500, 1)
+        assert len(set(b)) == len(b)
+
+
+class TestBinarySearch:
+    def test_result_semantics(self):
+        size, seed = 500, 1
+        array, keys = binary_search.generate_input(size, seed)
+        results = binary_search.reference(size, seed)
+        for key, idx in zip(keys, results):
+            if idx == -1:
+                assert array[0] > key
+            else:
+                assert array[idx] <= key
+                if idx + 1 < size:
+                    assert array[idx + 1] > key
+
+    def test_member_keys_found_exactly(self):
+        size, seed = 500, 4
+        array, keys = binary_search.generate_input(size, seed)
+        results = binary_search.reference(size, seed)
+        for key, idx in zip(keys, results):
+            if key in array:
+                assert array[idx] == key
+
+
+class TestHeappop:
+    def test_pops_descending(self):
+        out = heappop.reference(400, 1)
+        assert out == sorted(out, reverse=True)
+
+    def test_heapify_builds_valid_heap(self):
+        values = heappop.generate_values(257, 2)
+        heap = heappop._build_heap(values)
+        n = len(heap)
+        for i in range(n):
+            for child in (2 * i + 1, 2 * i + 2):
+                if child < n:
+                    assert heap[i] >= heap[child]
+
+    def test_simulated_pops_are_global_maxima(self):
+        ctx = build_context("ct")
+        out = heappop.run(ctx, 300, 1)
+        values = heappop.generate_values(300, 1)
+        assert out == sorted(values, reverse=True)[: len(out)]
