@@ -10,9 +10,46 @@ the printed reproduction, not statistical timing of a hot loop.
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Figure/table generation runs on the parallel experiment engine
+(:mod:`repro.experiments.parallel`): ``--engine-jobs N`` fans each
+figure's independent simulations across worker processes, and
+``--engine-cache DIR`` enables the content-addressed result cache so
+repeated benchmark runs (and cross-figure shared baselines) cost one
+simulation each.
 """
 
 import pytest
+
+from repro.experiments import parallel
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment engine",
+    )
+    parser.addoption(
+        "--engine-cache",
+        default=None,
+        help="directory for the engine's on-disk result cache",
+    )
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _engine_config(request):
+    """Apply --engine-jobs/--engine-cache to the experiment engine."""
+    jobs = request.config.getoption("--engine-jobs")
+    cache_dir = request.config.getoption("--engine-cache")
+    prev_jobs, prev_cache = parallel.current_settings()
+    parallel.configure(
+        jobs=jobs,
+        cache=parallel.ResultCache(cache_dir) if cache_dir else None,
+    )
+    yield
+    parallel.configure(jobs=prev_jobs, cache=prev_cache)
 
 
 @pytest.fixture

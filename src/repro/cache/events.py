@@ -51,21 +51,43 @@ class CacheListener:
 
 
 class EventBus:
-    """Fan-out of cache events to listeners, tagged with the cache name."""
+    """Fan-out of cache events to listeners, tagged with the cache name.
+
+    Hot-path design: the owning cache checks :attr:`has_listeners`
+    before even *calling* an emit helper, so a listener-free cache
+    (every ``insecure``/software-CT run) pays zero fan-out cost per
+    access.  Membership is tracked in a parallel ``set`` of listener
+    ids so subscribe/unsubscribe are O(1) while ``_listeners`` keeps
+    deterministic insertion order for fan-out.
+    """
+
+    __slots__ = ("cache_name", "_listeners", "_member_ids", "has_listeners")
 
     def __init__(self, cache_name: str) -> None:
         self.cache_name = cache_name
         self._listeners: List[CacheListener] = []
+        self._member_ids: set = set()
+        #: maintained on subscribe/unsubscribe; hot-path callers gate
+        #: emission on this flag instead of probing the list each time.
+        self.has_listeners = False
 
     def subscribe(self, listener: CacheListener) -> None:
-        if listener not in self._listeners:
+        if id(listener) not in self._member_ids:
+            self._member_ids.add(id(listener))
             self._listeners.append(listener)
+            self.has_listeners = True
 
     def unsubscribe(self, listener: CacheListener) -> None:
-        if listener in self._listeners:
-            self._listeners.remove(listener)
+        """Remove ``listener``; a never-subscribed listener is a no-op."""
+        if id(listener) not in self._member_ids:
+            return
+        self._member_ids.discard(id(listener))
+        self._listeners.remove(listener)
+        self.has_listeners = bool(self._listeners)
 
     # The emit helpers are hot-path: keep them branchless and tiny.
+    # (Callers should gate on ``has_listeners``; the helpers stay
+    # correct either way since iterating an empty list is a no-op.)
 
     def hit(self, line_addr: int, dirty: bool, lru_updated: bool = True) -> None:
         for listener in self._listeners:

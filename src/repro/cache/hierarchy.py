@@ -106,23 +106,26 @@ class CacheHierarchy:
         _is_prefetch: bool = False,
     ) -> AccessResult:
         """Demand-read ``line_addr``; fills every level from DRAM up."""
-        latency = 0
+        levels = self.levels
+        # Fast path: hit at the start level (the overwhelmingly common
+        # case for warm workloads) — no fill loop, no extra bookkeeping.
+        first = levels[start_level]
+        line = first.access(line_addr, update_replacement, observable)
+        if line is not None:
+            return AccessResult(first.latency, first.name, False)
+        latency = first.latency
         filled = False
-        for i in range(start_level, len(self.levels)):
-            cache = self.levels[i]
+        for i in range(start_level + 1, len(levels)):
+            cache = levels[i]
             latency += cache.latency
-            line = cache.access(
-                line_addr,
-                update_replacement=update_replacement,
-                observable=observable,
-            )
+            line = cache.access(line_addr, update_replacement, observable)
             if line is not None:
                 for j in range(i - 1, start_level - 1, -1):
                     latency += self._fill_level(j, line_addr, dirty=False)
                     filled = True
                 return AccessResult(latency, cache.name, filled)
         latency += self.dram.read_line(line_addr)
-        for j in range(len(self.levels) - 1, start_level - 1, -1):
+        for j in range(len(levels) - 1, start_level - 1, -1):
             latency += self._fill_level(j, line_addr, dirty=False)
         if self.prefetcher is not None and not _is_prefetch:
             self.prefetcher.on_demand_miss(line_addr, start_level)

@@ -17,13 +17,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """Metadata for one resident cache line.
 
     ``line_addr`` is the 64-byte-aligned address of the line; it acts
     as the full tag (index bits included, which makes lookups by
     address trivial and unambiguous across set mappings).
+
+    ``slots=True``: millions of these are allocated per sweep; the
+    slot layout removes the per-instance ``__dict__`` (hot-path
+    memory/attribute-speed win, same dataclass semantics).
     """
 
     line_addr: int

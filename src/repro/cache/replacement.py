@@ -30,29 +30,40 @@ from repro.errors import ConfigurationError
 class ReplacementPolicy:
     """Base class: tracks which ways are occupied; subclasses rank them."""
 
+    __slots__ = ("num_ways", "_occupied", "_num_occupied")
+
     def __init__(self, num_ways: int) -> None:
         if num_ways <= 0:
             raise ConfigurationError(f"num_ways must be positive: {num_ways}")
         self.num_ways = num_ways
         self._occupied: List[bool] = [False] * num_ways
+        #: occupancy count so the steady-state ``victim()`` call (every
+        #: way valid — the common case once a set warms up) skips the
+        #: O(ways) scan for an invalid way.
+        self._num_occupied = 0
 
     # -- hooks ---------------------------------------------------------------
 
     def on_fill(self, way: int) -> None:
-        self._occupied[way] = True
+        if not self._occupied[way]:
+            self._occupied[way] = True
+            self._num_occupied += 1
         self._rank_touch(way)
 
     def on_access(self, way: int) -> None:
         self._rank_touch(way)
 
     def on_invalidate(self, way: int) -> None:
-        self._occupied[way] = False
+        if self._occupied[way]:
+            self._occupied[way] = False
+            self._num_occupied -= 1
 
     def victim(self) -> int:
         """Way to evict: any invalid way first, else the policy's choice."""
-        for way, used in enumerate(self._occupied):
-            if not used:
-                return way
+        if self._num_occupied < self.num_ways:
+            for way, used in enumerate(self._occupied):
+                if not used:
+                    return way
         return self._rank_victim()
 
     def victim_among(self, allowed: Sequence[int]) -> Optional[int]:
@@ -85,6 +96,8 @@ class ReplacementPolicy:
 class LRUPolicy(ReplacementPolicy):
     """Least-recently-used: evict the way touched longest ago."""
 
+    __slots__ = ("_stamp", "_last_use")
+
     def __init__(self, num_ways: int) -> None:
         super().__init__(num_ways)
         self._stamp = 0
@@ -95,7 +108,11 @@ class LRUPolicy(ReplacementPolicy):
         self._last_use[way] = self._stamp
 
     def _rank_victim(self) -> int:
-        return min(range(self.num_ways), key=self._last_use.__getitem__)
+        # list.index(min(...)) runs both passes at C speed and returns
+        # the first minimal index — identical to
+        # ``min(range(n), key=last_use.__getitem__)``.
+        last_use = self._last_use
+        return last_use.index(min(last_use))
 
     def _rank_victim_among(self, allowed: Sequence[int]) -> int:
         return min(allowed, key=self._last_use.__getitem__)
@@ -114,13 +131,17 @@ class LRUPolicy(ReplacementPolicy):
 class FIFOPolicy(ReplacementPolicy):
     """First-in-first-out: eviction order is fill order; touches ignored."""
 
+    __slots__ = ("_stamp", "_fill_time")
+
     def __init__(self, num_ways: int) -> None:
         super().__init__(num_ways)
         self._stamp = 0
         self._fill_time: List[int] = [0] * num_ways
 
     def on_fill(self, way: int) -> None:
-        self._occupied[way] = True
+        if not self._occupied[way]:
+            self._occupied[way] = True
+            self._num_occupied += 1
         self._stamp += 1
         self._fill_time[way] = self._stamp
 
@@ -136,6 +157,8 @@ class FIFOPolicy(ReplacementPolicy):
 
 class RandomPolicy(ReplacementPolicy):
     """Uniformly random victim (seeded so simulations stay reproducible)."""
+
+    __slots__ = ("_rng",)
 
     def __init__(self, num_ways: int, seed: int = 0) -> None:
         super().__init__(num_ways)
@@ -155,6 +178,8 @@ class TreePLRUPolicy(ReplacementPolicy):
     used half; an access flips the bits on its root-to-leaf path to
     point away from itself.
     """
+
+    __slots__ = ("_bits",)
 
     def __init__(self, num_ways: int) -> None:
         super().__init__(num_ways)

@@ -30,9 +30,14 @@ from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.errors import ConfigurationError
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
-    """Counters for one cache level."""
+    """Counters for one cache level.
+
+    ``slots=True``: two to four of these counters move on every
+    simulated access; fixed-offset attribute writes keep the per-access
+    accounting cheap.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -62,12 +67,21 @@ class CacheStats:
 class _CacheSet:
     """Ways + replacement state for one set."""
 
-    __slots__ = ("ways", "policy", "by_addr")
+    __slots__ = ("ways", "policy", "by_addr", "touch")
 
     def __init__(self, num_ways: int, policy: ReplacementPolicy) -> None:
         self.ways: List[Optional[CacheLine]] = [None] * num_ways
         self.policy = policy
         self.by_addr: Dict[int, int] = {}  # line_addr -> way
+        # Devirtualized replacement-touch for the hot hit path: every
+        # stock policy's ``on_access`` is the base-class trampoline to
+        # ``_rank_touch``, so bind the target directly and skip one
+        # call frame per hit.  Policies that *override* ``on_access``
+        # keep their override (semantics unchanged).
+        if type(policy).on_access is ReplacementPolicy.on_access:
+            self.touch = policy._rank_touch
+        else:  # pragma: no cover - no stock policy overrides on_access
+            self.touch = policy.on_access
 
 
 class SetAssociativeCache:
@@ -117,6 +131,17 @@ class SetAssociativeCache:
         self.line_size = line_size
         self.num_sets = num_sets
         self.replacement = replacement
+        self.replacement_seed = replacement_seed
+        # Hot-path geometry: sets are validated power-of-two above, and
+        # for the (ubiquitous) power-of-two line size the div/mod set
+        # indexing reduces to one shift + one mask.  ``_line_shift`` is
+        # -1 for exotic non-power-of-two line sizes, selecting the
+        # div/mod fallback.
+        if line_size > 0 and not (line_size & (line_size - 1)):
+            self._line_shift = line_size.bit_length() - 1
+        else:
+            self._line_shift = -1
+        self._set_mask = num_sets - 1
         self._sets = [
             _CacheSet(assoc, make_policy(replacement, assoc, seed=replacement_seed + i))
             for i in range(num_sets)
@@ -128,6 +153,9 @@ class SetAssociativeCache:
 
     def set_index(self, line_addr: int) -> int:
         """Set an address maps to (index bits above the line offset)."""
+        shift = self._line_shift
+        if shift >= 0:
+            return (line_addr >> shift) & self._set_mask
         return (line_addr // self.line_size) % self.num_sets
 
     def __contains__(self, line_addr: int) -> bool:
@@ -137,7 +165,12 @@ class SetAssociativeCache:
 
     def lookup(self, line_addr: int) -> Optional[CacheLine]:
         """Tag lookup with *no* side effects (used by CTLoad/CTStore)."""
-        cset = self._sets[self.set_index(line_addr)]
+        shift = self._line_shift
+        if shift >= 0:
+            set_idx = (line_addr >> shift) & self._set_mask
+        else:
+            set_idx = (line_addr // self.line_size) % self.num_sets
+        cset = self._sets[set_idx]
         way = cset.by_addr.get(line_addr)
         return None if way is None else cset.ways[way]
 
@@ -158,19 +191,30 @@ class SetAssociativeCache:
         Returns the resident line on a hit, ``None`` on a miss.  The
         caller (hierarchy) is responsible for filling on miss.
         """
-        set_idx = self.set_index(line_addr)
+        # Hot path: inlined shift/mask indexing, one bound ``stats``
+        # lookup for all counter updates, devirtualized LRU touch, and
+        # event emission skipped entirely when nobody is listening.
+        shift = self._line_shift
+        if shift >= 0:
+            set_idx = (line_addr >> shift) & self._set_mask
+        else:
+            set_idx = (line_addr // self.line_size) % self.num_sets
         cset = self._sets[set_idx]
+        stats = self.stats
         if observable:
-            self.stats.record_set_access(set_idx)
+            accesses = stats.set_accesses
+            accesses[set_idx] = accesses.get(set_idx, 0) + 1
         way = cset.by_addr.get(line_addr)
         if way is None:
-            self.stats.misses += 1
+            stats.misses += 1
             return None
         line = cset.ways[way]
-        self.stats.hits += 1
+        stats.hits += 1
         if update_replacement:
-            cset.policy.on_access(way)
-        self.events.hit(line_addr, line.dirty, lru_updated=update_replacement)
+            cset.touch(way)
+        events = self.events
+        if events.has_listeners:
+            events.hit(line_addr, line.dirty, lru_updated=update_replacement)
         return line
 
     def fill(
@@ -181,30 +225,40 @@ class SetAssociativeCache:
         If the line is already resident this refreshes its replacement
         rank (and ORs in ``dirty``) instead of double-filling.
         """
-        set_idx = self.set_index(line_addr)
+        shift = self._line_shift
+        if shift >= 0:
+            set_idx = (line_addr >> shift) & self._set_mask
+        else:
+            set_idx = (line_addr // self.line_size) % self.num_sets
         cset = self._sets[set_idx]
+        stats = self.stats
+        events = self.events
+        emit = events.has_listeners
         existing_way = cset.by_addr.get(line_addr)
         if existing_way is not None:
             line = cset.ways[existing_way]
-            cset.policy.on_access(existing_way)
+            cset.touch(existing_way)
             if dirty and not line.dirty:
                 line.dirty = True
-                self.events.dirty(line_addr)
+                if emit:
+                    events.dirty(line_addr)
             return None
         victim_way = cset.policy.victim()
         victim = cset.ways[victim_way]
         if victim is not None:
             del cset.by_addr[victim.line_addr]
-            self.stats.evictions += 1
+            stats.evictions += 1
             if victim.dirty:
-                self.stats.dirty_evictions += 1
-            self.events.evict(victim.line_addr, victim.dirty)
+                stats.dirty_evictions += 1
+            if emit:
+                events.evict(victim.line_addr, victim.dirty)
         new_line = CacheLine(line_addr, dirty=dirty)
         cset.ways[victim_way] = new_line
         cset.by_addr[line_addr] = victim_way
         cset.policy.on_fill(victim_way)
-        self.stats.fills += 1
-        self.events.fill(line_addr, dirty)
+        stats.fills += 1
+        if emit:
+            events.fill(line_addr, dirty)
         return victim
 
     def set_dirty(self, line_addr: int) -> bool:
@@ -214,7 +268,8 @@ class SetAssociativeCache:
             return False
         if not line.dirty:
             line.dirty = True
-            self.events.dirty(line_addr)
+            if self.events.has_listeners:
+                self.events.dirty(line_addr)
         return True
 
     def clean(self, line_addr: int) -> bool:
@@ -223,7 +278,8 @@ class SetAssociativeCache:
         if line is None or not line.dirty:
             return False
         line.dirty = False
-        self.events.clean(line_addr)
+        if self.events.has_listeners:
+            self.events.clean(line_addr)
         return True
 
     def invalidate(self, line_addr: int) -> Optional[CacheLine]:

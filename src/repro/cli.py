@@ -92,7 +92,12 @@ def _cmd_workloads(args) -> int:
 def _cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
-    return experiments_main(args.target)
+    argv = list(args.target)
+    if args.jobs != 1:
+        argv = [f"--jobs={args.jobs}"] + argv
+    if args.no_cache:
+        argv = ["--no-cache"] + argv
+    return experiments_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,6 +139,17 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate the paper's tables/figures"
     )
     experiments.add_argument("target", nargs="*", default=["all"])
+    experiments.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent simulations",
+    )
+    experiments.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (.repro_results/)",
+    )
     experiments.set_defaults(fn=_cmd_experiments)
 
     return parser

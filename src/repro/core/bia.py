@@ -37,7 +37,7 @@ from repro.errors import ConfigurationError
 from repro.memory import address as addr_math
 
 
-@dataclass
+@dataclass(slots=True)
 class BIAEntry:
     """One bitmap entry: a management group's existence/dirtiness bits.
 
@@ -65,7 +65,7 @@ class BIAEntry:
         self.dirtiness &= ~(1 << bit)
 
 
-@dataclass
+@dataclass(slots=True)
 class BIAStats:
     """BIA activity counters."""
 
@@ -84,12 +84,16 @@ class BIAStats:
 
 
 class _BIASet:
-    __slots__ = ("ways", "policy", "by_page")
+    __slots__ = ("ways", "policy", "by_page", "touch")
 
     def __init__(self, assoc: int) -> None:
         self.ways: List[Optional[BIAEntry]] = [None] * assoc
         self.policy = make_policy("lru", assoc)
         self.by_page: Dict[int, int] = {}
+        # Devirtualized LRU touch (same trick as the cache sets): the
+        # stock LRU ``on_access`` is the base-class trampoline straight
+        # to ``_rank_touch``.
+        self.touch = self.policy._rank_touch
 
 
 class BIA(CacheListener):
@@ -141,6 +145,15 @@ class BIA(CacheListener):
         self._sets = [_BIASet(assoc) for _ in range(num_sets)]
         self.stats = BIAStats()
         self._monitored: Optional[str] = None
+        #: number of live table entries.  Monitor updates only ever
+        #: touch already-allocated entries, so while the table is empty
+        #: (every run that never issues a CT op) each monitor callback
+        #: can return immediately — a large hot-path win for the
+        #: insecure/software-CT schemes whose caches the BIA still
+        #: observes.
+        self._live_entries = 0
+        #: bitmask for line-in-group extraction (inlined addr math).
+        self._line_in_group_mask = self.lines_per_group - 1
 
     # -- attachment ------------------------------------------------------------
 
@@ -166,23 +179,26 @@ class BIA(CacheListener):
 
     def access(self, page_idx: int) -> BIAEntry:
         """CT-op lookup: allocate a zeroed entry on miss, update LRU."""
-        bset = self._set_of(page_idx)
-        self.stats.lookups += 1
+        bset = self._sets[page_idx % self.num_sets]
+        stats = self.stats
+        stats.lookups += 1
         way = bset.by_page.get(page_idx)
         if way is not None:
-            self.stats.hits += 1
-            bset.policy.on_access(way)
+            stats.hits += 1
+            bset.touch(way)
             return bset.ways[way]
         victim_way = bset.policy.victim()
         victim = bset.ways[victim_way]
         if victim is not None:
             del bset.by_page[victim.page_idx]
             self.stats.evictions += 1
+            self._live_entries -= 1
         entry = BIAEntry(page_idx)
         bset.ways[victim_way] = entry
         bset.by_page[page_idx] = victim_way
         bset.policy.on_fill(victim_way)
         self.stats.allocations += 1
+        self._live_entries += 1
         return entry
 
     # -- cache monitor (CacheListener) ------------------------------------------
@@ -190,10 +206,15 @@ class BIA(CacheListener):
     def _entry_for_line(self, cache_name: str, line_addr: int):
         if cache_name != self._monitored:
             return None, 0
-        group_idx = addr_math.group_index(line_addr, self.group_bits)
+        # Inlined group_index / line_in_group (hot monitor path).
+        group_idx = line_addr >> self.group_bits
+        bset = self._sets[group_idx % self.num_sets]
+        way = bset.by_page.get(group_idx)
+        if way is None:
+            return None, 0
         return (
-            self.lookup(group_idx),
-            addr_math.line_in_group(line_addr, self.group_bits),
+            bset.ways[way],
+            (line_addr >> params.LINE_BITS) & self._line_in_group_mask,
         )
 
     def on_hit(
@@ -203,6 +224,8 @@ class BIA(CacheListener):
         dirty: bool,
         lru_updated: bool = True,
     ) -> None:
+        if not self._live_entries:
+            return
         if not lru_updated:
             # Replacement-suppressed hits are secret-dependent accesses;
             # learning from them would make the bitmaps secret-dependent
@@ -219,6 +242,8 @@ class BIA(CacheListener):
             entry.clear_dirty(bit)
 
     def on_fill(self, cache_name: str, line_addr: int, dirty: bool) -> None:
+        if not self._live_entries:
+            return
         entry, bit = self._entry_for_line(cache_name, line_addr)
         if entry is None:
             return
@@ -228,6 +253,8 @@ class BIA(CacheListener):
             entry.set_dirty(bit)
 
     def on_evict(self, cache_name: str, line_addr: int, dirty: bool) -> None:
+        if not self._live_entries:
+            return
         entry, bit = self._entry_for_line(cache_name, line_addr)
         if entry is None:
             return
@@ -235,6 +262,8 @@ class BIA(CacheListener):
         entry.clear_exist(bit)
 
     def on_invalidate(self, cache_name: str, line_addr: int) -> None:
+        if not self._live_entries:
+            return
         entry, bit = self._entry_for_line(cache_name, line_addr)
         if entry is None:
             return
@@ -242,6 +271,8 @@ class BIA(CacheListener):
         entry.clear_exist(bit)
 
     def on_dirty(self, cache_name: str, line_addr: int) -> None:
+        if not self._live_entries:
+            return
         entry, bit = self._entry_for_line(cache_name, line_addr)
         if entry is None:
             return
@@ -249,6 +280,8 @@ class BIA(CacheListener):
         entry.set_dirty(bit)
 
     def on_clean(self, cache_name: str, line_addr: int) -> None:
+        if not self._live_entries:
+            return
         entry, bit = self._entry_for_line(cache_name, line_addr)
         if entry is None:
             return

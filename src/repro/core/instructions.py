@@ -26,8 +26,10 @@ from typing import Tuple
 from repro import params
 from repro.cache.hierarchy import CacheHierarchy
 from repro.core.bia import BIA
-from repro.memory import address as addr_math
 from repro.memory.backing import MainMemory
+
+#: Inlined ``addr_math.line_base`` (see repro.core.machine).
+_LINE_BASE_MASK = ~(params.LINE_SIZE - 1)
 
 
 class CTOps:
@@ -65,14 +67,14 @@ class CTOps:
         BIA's level, else the fake value 0.  ``existence_bitmap`` is
         the 64-bit BIA existence word for ``addr``'s page.
         """
-        line_addr = addr_math.line_base(addr)
+        line_addr = addr & _LINE_BASE_MASK
+        bia = self.bia
         line = self._cache.lookup(line_addr)  # pure probe: no state change
         data = self.memory.read_word(addr, size) if line is not None else 0
-        entry = self.bia.access(
-            addr_math.group_index(addr, self.bia.group_bits)
-        )
-        latency = self._cache.latency + self.bia.latency
-        self._record_traffic(line_addr)
+        entry = bia.access(addr >> bia.group_bits)
+        latency = self._cache.latency + bia.latency
+        if self.traffic_hook is not None:
+            self.traffic_hook(line_addr)
         return data, entry.existence, latency
 
     def ctstore(
@@ -85,13 +87,13 @@ class CTOps:
         "DO NOTHING").  The line's dirty bit is unchanged either way,
         so no new observable state is created.
         """
-        line_addr = addr_math.line_base(addr)
+        line_addr = addr & _LINE_BASE_MASK
+        bia = self.bia
         line = self._cache.lookup(line_addr)  # pure probe: no state change
         if line is not None and line.dirty:
             self.memory.write_word(addr, data, size)
-        entry = self.bia.access(
-            addr_math.group_index(addr, self.bia.group_bits)
-        )
-        latency = self._cache.latency + self.bia.latency
-        self._record_traffic(line_addr)
+        entry = bia.access(addr >> bia.group_bits)
+        latency = self._cache.latency + bia.latency
+        if self.traffic_hook is not None:
+            self.traffic_hook(line_addr)
         return entry.dirtiness, latency

@@ -39,9 +39,13 @@ from repro.core.costs import CostModel, DEFAULT_COSTS
 from repro.core.instructions import CTOps
 from repro.core.stats import MachineStats
 from repro.errors import ConfigurationError, ProtocolError
-from repro.memory import address as addr_math
 from repro.memory.backing import Allocator, MainMemory
 from repro.memory.dram import DRAM
+
+#: Inlined ``addr_math.line_base`` for the hot access paths: masking
+#: off the line-offset bits is identical to ``addr - addr % LINE_SIZE``
+#: for the (power-of-two) architectural line size.
+_LINE_BASE_MASK = ~(params.LINE_SIZE - 1)
 
 
 @dataclass(frozen=True)
@@ -87,6 +91,11 @@ class MachineConfig:
     #: Setting this against the feasibility rule is allowed only for
     #: leak-demonstration experiments.
     management_bits: Optional[int] = None
+    #: base seed for randomized replacement policies; threaded through
+    #: to every cache level (with a per-level offset so levels do not
+    #: share per-set RNG streams), making ``replacement="random"``
+    #: experiments reproducible per-config.
+    replacement_seed: int = 0
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
 
     def describe(self) -> Dict[str, str]:
@@ -130,12 +139,19 @@ class Machine:
             from repro.cache.plcache import PartitionLockedCache
 
             l1d_class = PartitionLockedCache
+        # Thread the config's replacement seed into every level.  Each
+        # level gets a disjoint per-set seed range (offset by a stride
+        # larger than any realistic set count) so no two levels share a
+        # per-set RNG stream.
+        seed = config.replacement_seed
+        _LEVEL_STRIDE = 1 << 20
         self.l1d = l1d_class(
             "L1D",
             config.l1d_size,
             config.l1d_assoc,
             config.l1d_latency,
             replacement=config.replacement,
+            replacement_seed=seed,
         )
         self.l2 = SetAssociativeCache(
             "L2",
@@ -143,6 +159,7 @@ class Machine:
             config.l2_assoc,
             config.l2_latency,
             replacement=config.replacement,
+            replacement_seed=seed + _LEVEL_STRIDE,
         )
         self.llc = SetAssociativeCache(
             "LLC",
@@ -150,6 +167,7 @@ class Machine:
             config.llc_assoc,
             config.llc_latency,
             replacement=config.replacement,
+            replacement_seed=seed + 2 * _LEVEL_STRIDE,
         )
         prefetcher = NextLinePrefetcher() if config.prefetcher else None
         self.hierarchy = CacheHierarchy(
@@ -228,9 +246,10 @@ class Machine:
         """Account ``n_insts`` non-memory instructions of victim work."""
         if n_insts < 0:
             raise ConfigurationError(f"negative instruction count {n_insts}")
-        self.stats.insts += n_insts
-        self.stats.l1i_refs += n_insts
-        self.stats.cycles += n_insts * self.costs.cpi
+        stats = self.stats
+        stats.insts += n_insts
+        stats.l1i_refs += n_insts
+        stats.cycles += n_insts * self.costs.cpi
 
     # -- victim: normal memory ops ------------------------------------------------------
 
@@ -243,18 +262,19 @@ class Machine:
     ) -> int:
         """Ordinary load.  ``secret_dependent=True`` skips the LRU update
         (Sec. 3.2's replacement-side-channel rule)."""
-        line_addr = addr_math.line_base(addr)
+        line_addr = addr & _LINE_BASE_MASK
         result = self.hierarchy.read_line(
-            line_addr,
-            start_level=start_level,
-            update_replacement=not secret_dependent,
+            line_addr, start_level, not secret_dependent
         )
-        self._record_llc_traffic(line_addr, result.hit_level)
-        self.stats.loads += 1
-        self.stats.l1d_refs += 1
-        self.stats.insts += 1
-        self.stats.l1i_refs += 1
-        self.stats.cycles += result.latency
+        if self.slice_hash is not None:
+            self._record_llc_traffic(line_addr, result.hit_level)
+        # One bound-attribute block for all five counters (hot path).
+        stats = self.stats
+        stats.loads += 1
+        stats.l1d_refs += 1
+        stats.insts += 1
+        stats.l1i_refs += 1
+        stats.cycles += result.latency
         return self.memory.read_word(addr, size)
 
     def store_word(
@@ -272,34 +292,34 @@ class Machine:
         dirty bit is NOT set — hardware behaviour whose security
         consequences Sec. 2.4 flags and defers.
         """
-        line_addr = addr_math.line_base(addr)
+        line_addr = addr & _LINE_BASE_MASK
         if self.config.silent_stores and self.memory.read_word(
             addr, size
         ) == value % (1 << (8 * size)):
             result = self.hierarchy.read_line(
-                line_addr,
-                start_level=start_level,
-                update_replacement=not secret_dependent,
+                line_addr, start_level, not secret_dependent
             )
-            self._record_llc_traffic(line_addr, result.hit_level)
-            self.stats.stores += 1
-            self.stats.l1d_refs += 1
-            self.stats.insts += 1
-            self.stats.l1i_refs += 1
-            self.stats.cycles += result.latency
+            if self.slice_hash is not None:
+                self._record_llc_traffic(line_addr, result.hit_level)
+            stats = self.stats
+            stats.stores += 1
+            stats.l1d_refs += 1
+            stats.insts += 1
+            stats.l1i_refs += 1
+            stats.cycles += result.latency
             return
         result = self.hierarchy.write_line(
-            line_addr,
-            start_level=start_level,
-            update_replacement=not secret_dependent,
+            line_addr, start_level, not secret_dependent
         )
-        self._record_llc_traffic(line_addr, result.hit_level)
+        if self.slice_hash is not None:
+            self._record_llc_traffic(line_addr, result.hit_level)
         self.memory.write_word(addr, value, size)
-        self.stats.stores += 1
-        self.stats.l1d_refs += 1
-        self.stats.insts += 1
-        self.stats.l1i_refs += 1
-        self.stats.cycles += result.latency
+        stats = self.stats
+        stats.stores += 1
+        stats.l1d_refs += 1
+        stats.insts += 1
+        stats.l1i_refs += 1
+        stats.cycles += result.latency
 
     def charge_memory(self, n_accesses: int, latency_each: float) -> None:
         """Account ``n_accesses`` data accesses without touching the caches.
@@ -311,37 +331,40 @@ class Machine:
         """
         if n_accesses < 0:
             raise ConfigurationError(f"negative access count {n_accesses}")
-        self.stats.loads += n_accesses
-        self.stats.l1d_refs += n_accesses
-        self.stats.insts += n_accesses
-        self.stats.l1i_refs += n_accesses
+        stats = self.stats
+        stats.loads += n_accesses
+        stats.l1d_refs += n_accesses
+        stats.insts += n_accesses
+        stats.l1i_refs += n_accesses
         # Like load_word, a memory instruction's cycle cost IS its
         # latency; no separate cpi charge.
-        self.stats.cycles += n_accesses * latency_each
+        stats.cycles += n_accesses * latency_each
 
     # -- victim: Sec. 6.5 DRAM bypass ---------------------------------------------------
 
     def load_word_uncached(self, addr: int, size: int = params.WORD_SIZE) -> int:
         """Load straight from DRAM with no cache state change."""
-        result = self.hierarchy.read_line_uncached(addr_math.line_base(addr))
-        self.stats.loads += 1
-        self.stats.l1d_refs += 1
-        self.stats.insts += 1
-        self.stats.l1i_refs += 1
-        self.stats.cycles += result.latency
+        result = self.hierarchy.read_line_uncached(addr & _LINE_BASE_MASK)
+        stats = self.stats
+        stats.loads += 1
+        stats.l1d_refs += 1
+        stats.insts += 1
+        stats.l1i_refs += 1
+        stats.cycles += result.latency
         return self.memory.read_word(addr, size)
 
     def store_word_uncached(
         self, addr: int, value: int, size: int = params.WORD_SIZE
     ) -> None:
         """Store straight to DRAM with no cache state change."""
-        result = self.hierarchy.write_line_uncached(addr_math.line_base(addr))
+        result = self.hierarchy.write_line_uncached(addr & _LINE_BASE_MASK)
         self.memory.write_word(addr, value, size)
-        self.stats.stores += 1
-        self.stats.l1d_refs += 1
-        self.stats.insts += 1
-        self.stats.l1i_refs += 1
-        self.stats.cycles += result.latency
+        stats = self.stats
+        stats.stores += 1
+        stats.l1d_refs += 1
+        stats.insts += 1
+        stats.l1i_refs += 1
+        stats.cycles += result.latency
 
     # -- victim: CT micro-ops -------------------------------------------------------------
 
@@ -357,22 +380,24 @@ class Machine:
         """Execute CTLoad; returns ``(data, existence_bitmap)``."""
         self._check_ct_privilege("CTLoad")
         data, existence, latency = self.ctops.ctload(addr, size)
-        self.stats.ct_loads += 1
-        self.stats.l1d_refs += 1
-        self.stats.insts += 1
-        self.stats.l1i_refs += 1
-        self.stats.cycles += latency
+        stats = self.stats
+        stats.ct_loads += 1
+        stats.l1d_refs += 1
+        stats.insts += 1
+        stats.l1i_refs += 1
+        stats.cycles += latency
         return data, existence
 
     def ctstore(self, addr: int, value: int, size: int = params.WORD_SIZE) -> int:
         """Execute CTStore; returns the dirtiness bitmap."""
         self._check_ct_privilege("CTStore")
         dirtiness, latency = self.ctops.ctstore(addr, value, size)
-        self.stats.ct_stores += 1
-        self.stats.l1d_refs += 1
-        self.stats.insts += 1
-        self.stats.l1i_refs += 1
-        self.stats.cycles += latency
+        stats = self.stats
+        stats.ct_stores += 1
+        stats.l1d_refs += 1
+        stats.insts += 1
+        stats.l1i_refs += 1
+        stats.cycles += latency
         return dirtiness
 
     @property
@@ -389,7 +414,7 @@ class Machine:
         Prime+Probe attacker times.
         """
         result = self.hierarchy.read_line(
-            addr_math.line_base(addr),
+            addr & _LINE_BASE_MASK,
             start_level=start_level,
             observable=False,
         )
@@ -397,7 +422,7 @@ class Machine:
 
     def attacker_flush(self, addr: int) -> None:
         """clflush from the attacker (Flush+Reload primitive)."""
-        self.hierarchy.flush_line(addr_math.line_base(addr))
+        self.hierarchy.flush_line(addr & _LINE_BASE_MASK)
 
     def attacker_evict(self, level: str, addr: int) -> bool:
         """Targeted eviction of one line at one level.
@@ -405,7 +430,7 @@ class Machine:
         Models the effect of an attacker priming the conflicting set
         without simulating its whole working set.
         """
-        return self.hierarchy.evict_line_from(level, addr_math.line_base(addr))
+        return self.hierarchy.evict_line_from(level, addr & _LINE_BASE_MASK)
 
     # -- bookkeeping ----------------------------------------------------------------------
 

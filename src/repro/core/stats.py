@@ -21,9 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class MachineStats:
-    """Mutable counters for one actor's execution."""
+    """Mutable counters for one actor's execution.
+
+    ``slots=True``: these counters are bumped on every simulated
+    instruction; the slot layout makes each attribute update a fixed
+    offset write instead of a dict operation.
+    """
 
     insts: int = 0
     l1i_refs: int = 0

@@ -2,11 +2,17 @@
 
 Usage::
 
-    python -m repro.experiments [target ...]
+    python -m repro.experiments [--jobs N] [--no-cache] [target ...]
 
 Targets: ``table1``, ``motivation``, ``fig2``, ``fig7``, ``fig8``,
 ``fig9``, ``fig10``, ``headline``, or ``all`` (default).  Full paper
 sweeps take a few minutes; each target prints as it completes.
+
+``--jobs N`` fans the independent simulations of each target across
+``N`` worker processes.  Results are cached under ``.repro_results/``
+(keyed by simulation parameters + simulator version) so re-runs and
+cross-figure shared baselines cost nothing; ``--no-cache`` disables
+the cache for this invocation.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.experiments import figures, tables
+from repro.experiments import figures, parallel, tables
 from repro.experiments.figures import headline_reduction
 from repro.experiments.report import format_table
 
@@ -57,7 +63,31 @@ TARGETS = {
 }
 
 
+def _parse_engine_flags(argv):
+    """Split ``argv`` into (engine options, remaining args).
+
+    Recognized: ``--jobs N`` / ``--jobs=N`` and ``--no-cache``.
+    Unknown ``-``-prefixed args are passed through (and later ignored,
+    matching the historical behaviour).
+    """
+    jobs = 1
+    use_cache = True
+    rest = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--jobs":
+            jobs = int(next(it, "1"))
+        elif arg.startswith("--jobs="):
+            jobs = int(arg.split("=", 1)[1])
+        elif arg == "--no-cache":
+            use_cache = False
+        else:
+            rest.append(arg)
+    return jobs, use_cache, rest
+
+
 def main(argv) -> int:
+    jobs, use_cache, argv = _parse_engine_flags(argv)
     names = [a for a in argv if not a.startswith("-")] or ["all"]
     if names == ["all"]:
         # `json` re-runs every sweep and writes a file; request it
@@ -67,10 +97,18 @@ def main(argv) -> int:
     if unknown:
         print(f"unknown targets: {unknown}; choices: {sorted(TARGETS)} or all")
         return 2
-    for name in names:
-        start = time.time()
-        print(TARGETS[name]())
-        print(f"[{name} done in {time.time() - start:.1f}s]\n")
+    cache = (
+        parallel.ResultCache(parallel.DEFAULT_CACHE_DIR) if use_cache else None
+    )
+    prev_jobs, prev_cache = parallel.current_settings()
+    parallel.configure(jobs=jobs, cache=cache)
+    try:
+        for name in names:
+            start = time.time()
+            print(TARGETS[name]())
+            print(f"[{name} done in {time.time() - start:.1f}s]\n")
+    finally:
+        parallel.configure(jobs=prev_jobs, cache=prev_cache)
     return 0
 
 

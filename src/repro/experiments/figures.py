@@ -13,8 +13,9 @@ import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import FIG7_SCHEMES
+from repro.experiments.parallel import RunSpec, run_many
 from repro.experiments.report import format_table
-from repro.experiments.runner import overhead, run_crypto, run_workload
+from repro.experiments.runner import overhead
 from repro.workloads import WORKLOADS
 
 # ---------------------------------------------------------------------------
@@ -32,14 +33,20 @@ def figure2(
     Returns {bins: {"ct-scalar": overhead, "ct": overhead}} — the
     paper's two curves (plain and avx2-optimized Constantine).
     """
+    schemes = ("insecure", "ct-scalar", "ct")
+    results = run_many(
+        [
+            RunSpec("histogram", size, scheme, seed)
+            for size in sizes
+            for scheme in schemes
+        ]
+    )
+    it = iter(results)
     out: Dict[int, Dict[str, float]] = {}
     for size in sizes:
-        base = run_workload("histogram", size, "insecure", seed=seed)
+        base = next(it)
         out[size] = {
-            scheme: overhead(
-                run_workload("histogram", size, scheme, seed=seed), base
-            )
-            for scheme in ("ct-scalar", "ct")
+            scheme: overhead(next(it), base) for scheme in schemes[1:]
         }
     return out
 
@@ -69,14 +76,20 @@ def figure7(
     """One Fig. 7 panel: {label: {scheme: overhead}} for a workload."""
     descriptor = WORKLOADS[workload]
     sizes = tuple(sizes) if sizes is not None else descriptor.sizes
+    schemes = ("insecure",) + tuple(FIG7_SCHEMES)
+    results = run_many(
+        [
+            RunSpec(workload, size, scheme, seed)
+            for size in sizes
+            for scheme in schemes
+        ]
+    )
+    it = iter(results)
     out: Dict[str, Dict[str, float]] = {}
     for size in sizes:
-        base = run_workload(workload, size, "insecure", seed=seed)
+        base = next(it)
         out[descriptor.label(size)] = {
-            scheme: overhead(
-                run_workload(workload, size, scheme, seed=seed), base
-            )
-            for scheme in FIG7_SCHEMES
+            scheme: overhead(next(it), base) for scheme in schemes[1:]
         }
     return out
 
@@ -127,10 +140,18 @@ def figure8(
     """
     descriptor = WORKLOADS["dijkstra"]
     sizes = tuple(sizes) if sizes is not None else descriptor.sizes
+    results = run_many(
+        [
+            RunSpec("dijkstra", size, scheme, seed)
+            for size in sizes
+            for scheme in ("ct", "bia-l1d")
+        ]
+    )
+    it = iter(results)
     out: Dict[str, Dict[str, float]] = {}
     for size in sizes:
-        ct = run_workload("dijkstra", size, "ct", seed=seed)
-        bia = run_workload("dijkstra", size, "bia-l1d", seed=seed)
+        ct = next(it)
+        bia = next(it)
         ratios = {}
         for label, key in FIG8_METRICS:
             numer, denom = ct.counters[key], bia.counters[key]
@@ -172,12 +193,20 @@ def figure9(
     ciphers: Sequence[str] = FIG9_CIPHERS, seed: int = 1
 ) -> Dict[str, Dict[str, float]]:
     """Crypto-library overheads: {cipher: {"bia-l1d": x, "ct": y}}."""
+    schemes = ("insecure", "bia-l1d", "ct")
+    results = run_many(
+        [
+            RunSpec(cipher, 0, scheme, seed, kind="crypto")
+            for cipher in ciphers
+            for scheme in schemes
+        ]
+    )
+    it = iter(results)
     out: Dict[str, Dict[str, float]] = {}
     for cipher in ciphers:
-        base = run_crypto(cipher, "insecure", seed=seed)
+        base = next(it)
         out[cipher] = {
-            scheme: overhead(run_crypto(cipher, scheme, seed=seed), base)
-            for scheme in ("bia-l1d", "ct")
+            scheme: overhead(next(it), base) for scheme in schemes[1:]
         }
     return out
 

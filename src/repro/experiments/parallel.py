@@ -1,0 +1,306 @@
+"""Parallel experiment engine with a content-addressed result cache.
+
+Every figure/table in the paper reduces to a bag of independent
+``(workload, size, scheme, seed)`` simulations — each builds a fresh
+machine, so there is no shared state and the bag is embarrassingly
+parallel.  This module provides the engine the experiment layer runs
+on:
+
+* :class:`RunSpec` — a hashable description of one simulation.  Its
+  :meth:`~RunSpec.key` is a content hash over the spec's fields *and*
+  :data:`repro.__version__`, so cached results are invalidated
+  automatically when the simulator version bumps.
+* :class:`ResultCache` — an in-memory map of ``key -> RunResult``,
+  optionally backed by a directory of pickle files (one per key) so
+  results survive across processes.  Figures 2/7/8 all share the same
+  ``insecure`` baselines; with a cache they are simulated once.
+* :func:`run_many` — execute a sequence of specs, deduplicating
+  identical specs, consulting the cache, and fanning the remaining
+  work across a :class:`~concurrent.futures.ProcessPoolExecutor` when
+  ``jobs > 1``.
+* :func:`parallel_sweep` — drop-in replacement for
+  :func:`repro.experiments.runner.sweep` returning the identical
+  ``{size: {scheme: RunResult}}`` mapping.
+
+Determinism: a spec fully determines its machine (fresh per run,
+seeded RNGs, seeded replacement policies), so a worker process
+produces bit-identical counters to an in-process run.  The test suite
+asserts ``parallel_sweep(jobs=4)`` is counter-identical to the serial
+``sweep``.
+
+Process-global defaults (used by the CLI's ``--jobs`` / ``--no-cache``
+flags) are set with :func:`configure`; explicit arguments always win.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import repro
+from repro.core.machine import MachineConfig
+from repro.errors import ConfigurationError
+from repro.experiments.runner import RunResult, run_crypto, run_workload
+
+#: Default on-disk cache directory (relative to the current working
+#: directory) used by the CLI when caching is enabled.
+DEFAULT_CACHE_DIR = ".repro_results"
+
+
+# -- specs ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation: workload (or cipher) x scheme x seed.
+
+    ``kind`` selects the runner: ``"workload"`` dispatches to
+    :func:`run_workload` (``size`` required), ``"crypto"`` to
+    :func:`run_crypto` (``workload`` names the cipher, ``size``
+    ignored).
+    """
+
+    workload: str
+    size: int = 0
+    scheme: str = "insecure"
+    seed: int = 1
+    kind: str = "workload"
+    fetch_threshold: Optional[int] = None
+    config: Optional[MachineConfig] = None
+
+    def key(self) -> str:
+        """Content hash of this spec + the simulator version.
+
+        Two specs with equal keys produce identical results; bumping
+        :data:`repro.__version__` invalidates every cached result.
+        """
+        payload = {
+            "workload": self.workload,
+            "size": self.size,
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "kind": self.kind,
+            "fetch_threshold": self.fetch_threshold,
+            "config": (
+                None if self.config is None else dataclasses.asdict(self.config)
+            ),
+            "version": repro.__version__,
+        }
+        blob = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def run(self) -> RunResult:
+        """Execute this spec on a fresh machine (in this process)."""
+        if self.kind == "workload":
+            return run_workload(
+                self.workload,
+                self.size,
+                self.scheme,
+                seed=self.seed,
+                config=self.config,
+                fetch_threshold=self.fetch_threshold,
+            )
+        if self.kind == "crypto":
+            return run_crypto(
+                self.workload, self.scheme, seed=self.seed, config=self.config
+            )
+        raise ConfigurationError(
+            f"unknown RunSpec kind {self.kind!r}; choices: workload, crypto"
+        )
+
+
+def run_spec(spec: RunSpec) -> RunResult:
+    """Top-level trampoline so specs can cross a process boundary."""
+    return spec.run()
+
+
+# -- result cache -------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Cache activity counters (tests assert warm runs hit every time)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Content-addressed ``key -> RunResult`` store.
+
+    With ``path=None`` the cache lives only in this process (useful for
+    sharing baselines across the figures of one report run).  With a
+    directory path each result is additionally pickled to
+    ``<path>/<key>.pkl`` and re-read on a memory miss, so a second
+    invocation of the experiment CLI re-simulates nothing.
+
+    Corrupt or unreadable cache files are treated as misses — the run
+    is simply recomputed and the file rewritten.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._memory: Dict[str, RunResult] = {}
+        self.stats = CacheStats()
+
+    def _file_for(self, key: str) -> str:
+        assert self.path is not None
+        return os.path.join(self.path, key + ".pkl")
+
+    def get(self, key: str) -> Optional[RunResult]:
+        result = self._memory.get(key)
+        if result is not None:
+            self.stats.hits += 1
+            return result
+        if self.path is not None:
+            try:
+                with open(self._file_for(key), "rb") as fh:
+                    result = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                result = None
+            if isinstance(result, RunResult):
+                self._memory[key] = result
+                self.stats.hits += 1
+                return result
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        self._memory[key] = result
+        self.stats.stores += 1
+        if self.path is not None:
+            tmp = self._file_for(key) + ".tmp"
+            try:
+                os.makedirs(self.path, exist_ok=True)
+                with open(tmp, "wb") as fh:
+                    pickle.dump(result, fh)
+                os.replace(tmp, self._file_for(key))
+            except OSError:  # pragma: no cover - disk full etc.
+                pass
+
+    def clear(self) -> None:
+        self._memory.clear()
+        if self.path is not None and os.path.isdir(self.path):
+            for name in os.listdir(self.path):
+                if name.endswith(".pkl"):
+                    try:
+                        os.remove(os.path.join(self.path, name))
+                    except OSError:  # pragma: no cover
+                        pass
+
+
+# -- process-global defaults ---------------------------------------------------
+
+_UNSET = object()
+
+
+class _Settings:
+    __slots__ = ("jobs", "cache")
+
+    def __init__(self) -> None:
+        self.jobs: int = 1
+        self.cache: Optional[ResultCache] = None
+
+
+_settings = _Settings()
+
+
+def configure(
+    jobs=_UNSET,
+    cache=_UNSET,
+) -> None:
+    """Set process-wide defaults for :func:`run_many`.
+
+    The CLI calls this once from its ``--jobs`` / ``--no-cache``
+    flags; library callers normally pass explicit arguments instead.
+    """
+    if jobs is not _UNSET:
+        if jobs is None or int(jobs) < 1:
+            raise ConfigurationError(f"jobs must be a positive int: {jobs!r}")
+        _settings.jobs = int(jobs)
+    if cache is not _UNSET:
+        _settings.cache = cache
+
+
+def current_settings():
+    """The active (jobs, cache) defaults — introspection for tests."""
+    return _settings.jobs, _settings.cache
+
+
+# -- execution ----------------------------------------------------------------
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    jobs=_UNSET,
+    cache=_UNSET,
+) -> List[RunResult]:
+    """Execute ``specs``, returning results in the same order.
+
+    Identical specs (equal content keys) are simulated once; cached
+    results are reused without simulation.  With ``jobs > 1`` the
+    outstanding unique specs are fanned across a process pool.
+    """
+    if jobs is _UNSET:
+        jobs = _settings.jobs
+    if cache is _UNSET:
+        cache = _settings.cache
+    if jobs is None or int(jobs) < 1:
+        raise ConfigurationError(f"jobs must be a positive int: {jobs!r}")
+    jobs = int(jobs)
+
+    keys = [spec.key() for spec in specs]
+    results: Dict[str, RunResult] = {}
+    pending: List[RunSpec] = []
+    pending_keys: List[str] = []
+    for spec, key in zip(specs, keys):
+        if key in results or key in pending_keys:
+            continue
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                results[key] = hit
+                continue
+        pending.append(spec)
+        pending_keys.append(key)
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                computed = list(pool.map(run_spec, pending))
+        else:
+            computed = [spec.run() for spec in pending]
+        for key, result in zip(pending_keys, computed):
+            results[key] = result
+            if cache is not None:
+                cache.put(key, result)
+
+    return [results[key] for key in keys]
+
+
+def parallel_sweep(
+    workload: str,
+    sizes: Sequence[int],
+    schemes: Sequence[str],
+    seed: int = 1,
+    jobs=_UNSET,
+    cache=_UNSET,
+) -> Dict[int, Dict[str, RunResult]]:
+    """Sizes x schemes sweep with the same shape as ``runner.sweep``."""
+    specs = [
+        RunSpec(workload=workload, size=size, scheme=scheme, seed=seed)
+        for size in sizes
+        for scheme in schemes
+    ]
+    results = run_many(specs, jobs=jobs, cache=cache)
+    it = iter(results)
+    return {
+        size: {scheme: next(it) for scheme in schemes} for size in sizes
+    }

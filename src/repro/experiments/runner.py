@@ -76,11 +76,13 @@ def sweep(
     schemes: Sequence[str],
     seed: int = 1,
 ) -> Dict[int, Dict[str, RunResult]]:
-    """Run a workload across sizes x schemes (fresh machine each run)."""
-    return {
-        size: {
-            scheme: run_workload(workload, size, scheme, seed=seed)
-            for scheme in schemes
-        }
-        for size in sizes
-    }
+    """Run a workload across sizes x schemes (fresh machine each run).
+
+    Delegates to the parallel engine, which honours the process-wide
+    ``configure(jobs=..., cache=...)`` defaults (serial, uncached out
+    of the box) — so figure code and tests keep the old call shape
+    while the CLI can fan the same sweeps across workers.
+    """
+    from repro.experiments.parallel import parallel_sweep
+
+    return parallel_sweep(workload, sizes, schemes, seed=seed)

@@ -6,8 +6,8 @@ from typing import Dict, Optional
 
 from repro.core.machine import MachineConfig
 from repro.experiments.config import default_config
+from repro.experiments.parallel import RunSpec, run_many
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_workload
 
 
 def table1_rows(config: Optional[MachineConfig] = None) -> Dict[str, str]:
@@ -36,9 +36,14 @@ def motivation_profile(
         "secure": "ct-scalar",
         "secure with avx": "ct",
     }
+    results = run_many(
+        [
+            RunSpec("histogram", bins, scheme, seed)
+            for scheme in versions.values()
+        ]
+    )
     out: Dict[str, Dict[str, float]] = {}
-    for label, scheme in versions.items():
-        result = run_workload("histogram", bins, scheme, seed=seed)
+    for label, result in zip(versions, results):
         counters = result.counters
         out[label] = {
             "L1d ref": counters["l1d_refs"],

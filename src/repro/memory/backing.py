@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterable
 
 from repro import params
-from repro.errors import AllocationError, MemoryError_
+from repro.errors import AlignmentError, AllocationError, MemoryError_
 from repro.memory import address as addr_math
 
 
@@ -66,16 +66,43 @@ class MainMemory:
     # -- typed word interface ----------------------------------------------
 
     def read_word(self, addr: int, size: int = params.WORD_SIZE) -> int:
-        """Read an unsigned little-endian integer of ``size`` bytes."""
-        addr_math.check_aligned(addr, size)
+        """Read an unsigned little-endian integer of ``size`` bytes.
+
+        Hot path: a ``size``-aligned power-of-two word never crosses a
+        page boundary (for ``size <= PAGE_SIZE``), so the common case
+        is one dict probe + one slice — no ``read()`` loop, no
+        intermediate buffer.
+        """
+        if size <= 0 or size & (size - 1):
+            raise AlignmentError(f"access size {size} is not a power of two")
+        if addr & (size - 1):
+            raise AlignmentError(f"address {addr:#x} not aligned to {size}")
+        if size <= params.PAGE_SIZE:
+            page = self._pages.get(addr >> params.PAGE_BITS)
+            if page is None:
+                return 0
+            off = addr & (params.PAGE_SIZE - 1)
+            return int.from_bytes(page[off : off + size], "little")
         return int.from_bytes(self.read(addr, size), "little")
 
     def write_word(
         self, addr: int, value: int, size: int = params.WORD_SIZE
     ) -> None:
         """Write an unsigned little-endian integer of ``size`` bytes."""
-        addr_math.check_aligned(addr, size)
-        self.write(addr, (value % (1 << (8 * size))).to_bytes(size, "little"))
+        if size <= 0 or size & (size - 1):
+            raise AlignmentError(f"access size {size} is not a power of two")
+        if addr & (size - 1):
+            raise AlignmentError(f"address {addr:#x} not aligned to {size}")
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if size <= params.PAGE_SIZE:
+            idx = addr >> params.PAGE_BITS
+            page = self._pages.get(idx)
+            if page is None:
+                page = self._pages[idx] = bytearray(params.PAGE_SIZE)
+            off = addr & (params.PAGE_SIZE - 1)
+            page[off : off + size] = data
+            return
+        self.write(addr, data)
 
     def read_line(self, line_addr: int) -> bytes:
         """Read the whole 64-byte line starting at ``line_addr``."""
