@@ -78,11 +78,21 @@ class EventBus:
             self.has_listeners = True
 
     def unsubscribe(self, listener: CacheListener) -> None:
-        """Remove ``listener``; a never-subscribed listener is a no-op."""
+        """Remove ``listener``; a never-subscribed listener is a no-op.
+
+        Removal is by *identity*, matching the ``id()``-based
+        membership tracking: ``list.remove`` compares with ``==``, so
+        a listener type overriding ``__eq__`` could evict a different
+        (equal-comparing) subscriber while its own entry stayed behind
+        — desynchronizing ``_listeners`` from ``_member_ids``.
+        """
         if id(listener) not in self._member_ids:
             return
         self._member_ids.discard(id(listener))
-        self._listeners.remove(listener)
+        for index, existing in enumerate(self._listeners):
+            if existing is listener:
+                del self._listeners[index]
+                break
         self.has_listeners = bool(self._listeners)
 
     # The emit helpers are hot-path: keep them branchless and tiny.

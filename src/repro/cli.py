@@ -97,6 +97,12 @@ def _cmd_experiments(args) -> int:
         argv = [f"--jobs={args.jobs}"] + argv
     if args.no_cache:
         argv = ["--no-cache"] + argv
+    if args.timeout is not None:
+        argv = [f"--timeout={args.timeout}"] + argv
+    if args.retries:
+        argv = [f"--retries={args.retries}"] + argv
+    if args.run_log:
+        argv = [f"--run-log={args.run_log}"] + argv
     return experiments_main(argv)
 
 
@@ -149,6 +155,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the on-disk result cache (.repro_results/)",
+    )
+    experiments.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-simulation wall-time budget in seconds",
+    )
+    experiments.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry failing/hanging simulations this many times",
+    )
+    experiments.add_argument(
+        "--run-log",
+        default=None,
+        help="write the telemetry run log (JSONL, one record per attempt)",
     )
     experiments.set_defaults(fn=_cmd_experiments)
 

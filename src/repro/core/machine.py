@@ -435,10 +435,24 @@ class Machine:
     # -- bookkeeping ----------------------------------------------------------------------
 
     def reset_stats(self) -> None:
-        """Zero all counters (cache contents are preserved)."""
+        """Zero all counters and measurement traces (cache contents
+        are preserved).
+
+        Workloads warm their data, call this, then measure — so
+        anything *measurement-shaped* must be wiped here or warm-up
+        activity leaks into the measured phase.  That includes the
+        interconnect ``slice_trace`` on sliced-LLC machines (it used
+        to accumulate across phases, polluting secret-independence
+        comparisons of the measured window) and the DRAM open-row
+        buffers under the open-page policy (a warm-up row left open
+        would turn the first measured access into a row hit that the
+        measured phase never earned).
+        """
         self.stats.reset()
         self.hierarchy.reset_stats()
         self.bia.stats.reset()
+        self.slice_trace.clear()
+        self.dram.close_rows()
 
     def snapshot(self) -> Dict[str, float]:
         """Flat dict of every counter the experiment harness consumes."""

@@ -2,7 +2,9 @@
 
 Usage::
 
-    python -m repro.experiments [--jobs N] [--no-cache] [target ...]
+    python -m repro.experiments [--jobs N] [--no-cache]
+                                [--timeout S] [--retries N]
+                                [--run-log FILE] [target ...]
 
 Targets: ``table1``, ``motivation``, ``fig2``, ``fig7``, ``fig8``,
 ``fig9``, ``fig10``, ``headline``, or ``all`` (default).  Full paper
@@ -13,6 +15,14 @@ sweeps take a few minutes; each target prints as it completes.
 (keyed by simulation parameters + simulator version) so re-runs and
 cross-figure shared baselines cost nothing; ``--no-cache`` disables
 the cache for this invocation.
+
+Resilience knobs: ``--timeout S`` bounds each simulation's wall time,
+``--retries N`` re-attempts failing/hanging/crashed simulations with
+exponential backoff.  A target whose batch still fails prints the
+engine's per-spec failure log and the run continues with the next
+target (exit status 1 at the end).  Every attempt is recorded by the
+telemetry sink: a summary table prints at the end, and ``--run-log
+FILE`` exports the full JSONL run log (one record per attempt).
 """
 
 from __future__ import annotations
@@ -20,9 +30,11 @@ from __future__ import annotations
 import sys
 import time
 
+from repro.errors import EngineError
 from repro.experiments import figures, parallel, tables
 from repro.experiments.figures import headline_reduction
 from repro.experiments.report import format_table
+from repro.experiments.telemetry import RunTelemetry
 
 
 def _headline() -> str:
@@ -66,28 +78,40 @@ TARGETS = {
 def _parse_engine_flags(argv):
     """Split ``argv`` into (engine options, remaining args).
 
-    Recognized: ``--jobs N`` / ``--jobs=N`` and ``--no-cache``.
-    Unknown ``-``-prefixed args are passed through (and later ignored,
-    matching the historical behaviour).
+    Recognized: ``--jobs N``, ``--timeout S``, ``--retries N``,
+    ``--run-log FILE`` (each also in ``--flag=value`` form) and
+    ``--no-cache``.  Unknown ``-``-prefixed args are passed through
+    (and later ignored, matching the historical behaviour).
     """
-    jobs = 1
-    use_cache = True
+    opts = {
+        "jobs": 1,
+        "use_cache": True,
+        "timeout": None,
+        "retries": 0,
+        "run_log": None,
+    }
+    valued = {
+        "--jobs": ("jobs", int),
+        "--timeout": ("timeout", float),
+        "--retries": ("retries", int),
+        "--run-log": ("run_log", str),
+    }
     rest = []
     it = iter(argv)
     for arg in it:
-        if arg == "--jobs":
-            jobs = int(next(it, "1"))
-        elif arg.startswith("--jobs="):
-            jobs = int(arg.split("=", 1)[1])
+        name, _, inline = arg.partition("=")
+        if name in valued:
+            key, cast = valued[name]
+            opts[key] = cast(inline if inline else next(it, ""))
         elif arg == "--no-cache":
-            use_cache = False
+            opts["use_cache"] = False
         else:
             rest.append(arg)
-    return jobs, use_cache, rest
+    return opts, rest
 
 
 def main(argv) -> int:
-    jobs, use_cache, argv = _parse_engine_flags(argv)
+    opts, argv = _parse_engine_flags(argv)
     names = [a for a in argv if not a.startswith("-")] or ["all"]
     if names == ["all"]:
         # `json` re-runs every sweep and writes a file; request it
@@ -98,18 +122,39 @@ def main(argv) -> int:
         print(f"unknown targets: {unknown}; choices: {sorted(TARGETS)} or all")
         return 2
     cache = (
-        parallel.ResultCache(parallel.DEFAULT_CACHE_DIR) if use_cache else None
+        parallel.ResultCache(parallel.DEFAULT_CACHE_DIR)
+        if opts["use_cache"]
+        else None
     )
-    prev_jobs, prev_cache = parallel.current_settings()
-    parallel.configure(jobs=jobs, cache=cache)
+    telemetry = RunTelemetry()
+    prev = parallel.current_settings()
+    parallel.configure(
+        jobs=opts["jobs"],
+        cache=cache,
+        timeout=opts["timeout"],
+        retries=opts["retries"],
+        telemetry=telemetry,
+    )
+    status = 0
     try:
         for name in names:
             start = time.time()
-            print(TARGETS[name]())
+            try:
+                print(TARGETS[name]())
+            except EngineError as exc:
+                # Partial failure: successes are already cached; report
+                # the per-spec failure log and press on.
+                status = 1
+                print(f"[{name} FAILED] {exc}")
             print(f"[{name} done in {time.time() - start:.1f}s]\n")
     finally:
-        parallel.configure(jobs=prev_jobs, cache=prev_cache)
-    return 0
+        parallel.configure(**prev._asdict())
+    if telemetry.records:
+        print(telemetry.summary_table())
+    if opts["run_log"]:
+        count = telemetry.export_jsonl(opts["run_log"])
+        print(f"wrote {count} run record(s) to {opts['run_log']}")
+    return status
 
 
 if __name__ == "__main__":

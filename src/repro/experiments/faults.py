@@ -1,0 +1,191 @@
+"""Deterministic fault injection for the experiment engine.
+
+Resilience tests need to provoke the engine's failure paths — a spec
+that raises, a spec that hangs past its timeout, a worker process that
+dies mid-batch — *deterministically* and *across process boundaries*
+(the faulty attempt may run in a pool worker, the retry in another).
+This module provides the test-only hook :func:`run_spec` consults:
+
+* A **fault plan** lives in a directory: ``plan.json`` holds a list of
+  rules, and per-rule attempt counters are one-byte-per-attempt files
+  in the same directory.  The directory is the cross-process shared
+  state: every worker that executes a matching spec appends to the
+  counter file, so "fail the first N attempts, then succeed" works no
+  matter which process runs which attempt.
+* The plan is armed through the :data:`FAULT_PLAN_ENV` environment
+  variable (inherited by pool workers under both fork and spawn); with
+  the variable unset — every production run — the hook is two dict
+  lookups and returns immediately.
+
+Rules
+-----
+
+Each rule is a JSON object::
+
+    {"match": {"workload": "histogram", "scheme": "ct"},  # subset match
+     "action": "raise" | "delay" | "crash",
+     "times": 2,          # trigger for the first 2 attempts (null = always)
+     "delay": 0.5}        # seconds, for action == "delay"
+
+``match`` compares against the spec's ``workload``/``size``/``scheme``/
+``seed``/``kind`` fields; absent keys match anything.  ``raise`` throws
+:class:`InjectedFault` (retryable), ``delay`` sleeps before running
+(provokes per-spec timeouts), and ``crash`` kills the worker process
+with ``os._exit`` — in the coordinating process it degrades to raising
+:class:`InjectedCrash` instead, so an in-process fallback run cannot
+take the test runner down with it.
+
+:class:`FaultInjector` is the test-facing helper that writes plans and
+arms/disarms the environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+#: Environment variable naming the fault-plan directory.  Unset (the
+#: default everywhere outside resilience tests) disables injection.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Plan file name inside the plan directory.
+PLAN_FILE = "plan.json"
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected, retryable simulation failure."""
+
+
+class InjectedCrash(RuntimeError):
+    """Stand-in for a worker crash when already running in-process."""
+
+
+def _in_worker_process() -> bool:
+    """True when executing inside a multiprocessing child."""
+    return multiprocessing.parent_process() is not None
+
+
+def _matches(rule_match: Dict[str, Any], spec: Any) -> bool:
+    for field_name, wanted in rule_match.items():
+        if getattr(spec, field_name, None) != wanted:
+            return False
+    return True
+
+
+def _count_attempt(plan_dir: str, rule_index: int, spec_key: str) -> int:
+    """Record one attempt of ``spec_key`` under rule ``rule_index``.
+
+    Returns the attempt's ordinal (1-based).  The counter is a file
+    whose *size* is the attempt count; appending one byte is atomic
+    enough for the engine's sequential retries (attempts of one spec
+    never overlap) and survives process boundaries.
+    """
+    path = os.path.join(plan_dir, f"rule{rule_index}-{spec_key}.attempts")
+    with open(path, "ab") as fh:
+        fh.write(b"x")
+        fh.flush()
+        return fh.tell()
+
+
+def maybe_inject(spec: Any) -> None:
+    """Engine hook: trigger any armed fault matching ``spec``.
+
+    Called by :func:`repro.experiments.parallel.run_spec` right before
+    the simulation.  No-op unless :data:`FAULT_PLAN_ENV` names a
+    readable plan directory.
+    """
+    plan_dir = os.environ.get(FAULT_PLAN_ENV)
+    if not plan_dir:
+        return
+    try:
+        with open(os.path.join(plan_dir, PLAN_FILE), "r") as fh:
+            rules = json.load(fh)
+    except (OSError, ValueError):  # missing/corrupt plan: stay silent
+        return
+    for index, rule in enumerate(rules):
+        if not _matches(rule.get("match", {}), spec):
+            continue
+        times = rule.get("times")
+        if times is not None:
+            attempt = _count_attempt(plan_dir, index, spec.key())
+            if attempt > times:
+                continue
+        action = rule.get("action", "raise")
+        if action == "raise":
+            raise InjectedFault(
+                f"injected fault (rule {index}) for {spec!r}"
+            )
+        if action == "delay":
+            time.sleep(float(rule.get("delay", 0.5)))
+            continue
+        if action == "crash":
+            if _in_worker_process():
+                os._exit(1)  # looks like a killed worker to the pool
+            raise InjectedCrash(
+                f"injected crash (rule {index}) for {spec!r}"
+            )
+
+
+class FaultInjector:
+    """Test helper that authors fault plans and arms the env hook.
+
+    Usage (pytest)::
+
+        injector = FaultInjector(tmp_path / "faults")
+        injector.add_rule(match={"scheme": "ct"}, action="raise", times=1)
+        injector.arm(monkeypatch)       # sets FAULT_PLAN_ENV
+        ... run_many(...) ...           # first ct attempt raises
+        injector.reset_counters()       # forget attempt history
+    """
+
+    def __init__(self, plan_dir) -> None:
+        self.plan_dir = str(plan_dir)
+        os.makedirs(self.plan_dir, exist_ok=True)
+        self.rules: List[Dict[str, Any]] = []
+        self._write()
+
+    def _write(self) -> None:
+        tmp = os.path.join(self.plan_dir, PLAN_FILE + ".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(self.rules, fh)
+        os.replace(tmp, os.path.join(self.plan_dir, PLAN_FILE))
+
+    def add_rule(
+        self,
+        match: Optional[Dict[str, Any]] = None,
+        action: str = "raise",
+        times: Optional[int] = None,
+        delay: Optional[float] = None,
+    ) -> None:
+        if action not in ("raise", "delay", "crash"):
+            raise ValueError(f"unknown fault action {action!r}")
+        rule: Dict[str, Any] = {"match": match or {}, "action": action}
+        if times is not None:
+            rule["times"] = times
+        if delay is not None:
+            rule["delay"] = delay
+        self.rules.append(rule)
+        self._write()
+
+    def clear_rules(self) -> None:
+        self.rules = []
+        self._write()
+
+    def reset_counters(self) -> None:
+        """Forget attempt history so ``times=N`` rules re-trigger."""
+        for name in os.listdir(self.plan_dir):
+            if name.endswith(".attempts"):
+                try:
+                    os.remove(os.path.join(self.plan_dir, name))
+                except OSError:  # pragma: no cover
+                    pass
+
+    def arm(self, monkeypatch) -> None:
+        """Point :data:`FAULT_PLAN_ENV` at this plan via monkeypatch."""
+        monkeypatch.setenv(FAULT_PLAN_ENV, self.plan_dir)
+
+    def disarm(self, monkeypatch) -> None:
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)

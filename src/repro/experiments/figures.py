@@ -39,7 +39,8 @@ def figure2(
             RunSpec("histogram", size, scheme, seed)
             for size in sizes
             for scheme in schemes
-        ]
+        ],
+        label="fig2",
     )
     it = iter(results)
     out: Dict[int, Dict[str, float]] = {}
@@ -82,7 +83,8 @@ def figure7(
             RunSpec(workload, size, scheme, seed)
             for size in sizes
             for scheme in schemes
-        ]
+        ],
+        label=f"fig7:{workload}",
     )
     it = iter(results)
     out: Dict[str, Dict[str, float]] = {}
@@ -145,7 +147,8 @@ def figure8(
             RunSpec("dijkstra", size, scheme, seed)
             for size in sizes
             for scheme in ("ct", "bia-l1d")
-        ]
+        ],
+        label="fig8",
     )
     it = iter(results)
     out: Dict[str, Dict[str, float]] = {}
@@ -199,7 +202,8 @@ def figure9(
             RunSpec(cipher, 0, scheme, seed, kind="crypto")
             for cipher in ciphers
             for scheme in schemes
-        ]
+        ],
+        label="fig9",
     )
     it = iter(results)
     out: Dict[str, Dict[str, float]] = {}

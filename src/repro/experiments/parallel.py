@@ -28,8 +28,37 @@ produces bit-identical counters to an in-process run.  The test suite
 asserts ``parallel_sweep(jobs=4)`` is counter-identical to the serial
 ``sweep``.
 
+Fault tolerance (the engine contract)
+-------------------------------------
+
+One failing spec must never cost the rest of the batch.  ``run_many``
+submits each unique spec individually and collects completions as they
+arrive, so:
+
+* a spec whose simulation **raises** is retried up to ``retries``
+  times with exponential backoff, then recorded as failed;
+* a spec that **exceeds the per-spec timeout** is abandoned (its
+  worker keeps the slot until it returns; the result is discarded) and
+  retried/failed the same way — in serial mode the timeout is
+  enforced post-hoc, since an in-process run cannot be preempted;
+* a **worker-process death** (``BrokenProcessPool``) fails only the
+  in-flight specs as "crash" attempts, then the pool is respawned (a
+  bounded number of times) and work resumes; if the pool cannot be
+  (re)created at all — e.g. sandboxes that forbid ``fork`` — the
+  engine degrades to in-process execution;
+* every completed result is delivered to the cache *immediately*, so
+  when the batch ultimately fails the successes are salvaged and the
+  raised :class:`~repro.errors.EngineError` carries the per-spec
+  failure log (kind, attempts, last error) plus the salvaged results.
+
+Telemetry: pass a :class:`~repro.experiments.telemetry.RunTelemetry`
+(argument or :func:`configure` default) to receive one record per
+attempt plus progress callbacks; see that module for the JSONL run-log
+format.
+
 Process-global defaults (used by the CLI's ``--jobs`` / ``--no-cache``
-flags) are set with :func:`configure`; explicit arguments always win.
+/ ``--timeout`` / ``--retries`` flags) are set with :func:`configure`;
+explicit arguments always win.
 """
 
 from __future__ import annotations
@@ -39,14 +68,19 @@ import hashlib
 import json
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence
 
 import repro
 from repro.core.machine import MachineConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, EngineError, SpecFailure
+from repro.experiments.faults import FAULT_PLAN_ENV
 from repro.experiments.runner import RunResult, run_crypto, run_workload
+from repro.experiments.telemetry import RunRecord, RunTelemetry
 
 #: Default on-disk cache directory (relative to the current working
 #: directory) used by the CLI when caching is enabled.
@@ -116,7 +150,17 @@ class RunSpec:
 
 
 def run_spec(spec: RunSpec) -> RunResult:
-    """Top-level trampoline so specs can cross a process boundary."""
+    """Top-level trampoline so specs can cross a process boundary.
+
+    Test-only hook: when the :data:`~repro.experiments.faults.
+    FAULT_PLAN_ENV` environment variable is armed (resilience tests
+    only — never in production runs), a matching fault rule may raise,
+    delay, or kill this process before the simulation starts.
+    """
+    if os.environ.get(FAULT_PLAN_ENV):
+        from repro.experiments.faults import maybe_inject
+
+        maybe_inject(spec)
     return spec.run()
 
 
@@ -201,12 +245,35 @@ class ResultCache:
 _UNSET = object()
 
 
+class EngineSettings(NamedTuple):
+    """Snapshot of the process-wide engine defaults.
+
+    Field order keeps the historical ``(jobs, cache)`` unpacking of
+    :func:`current_settings` working; restore with
+    ``configure(**settings._asdict())``.
+    """
+
+    jobs: int
+    cache: Optional[ResultCache]
+    timeout: Optional[float]
+    retries: int
+    backoff: float
+    telemetry: Optional[RunTelemetry]
+
+
 class _Settings:
-    __slots__ = ("jobs", "cache")
+    __slots__ = ("jobs", "cache", "timeout", "retries", "backoff", "telemetry")
 
     def __init__(self) -> None:
         self.jobs: int = 1
         self.cache: Optional[ResultCache] = None
+        #: per-spec wall-time budget in seconds (None = unlimited)
+        self.timeout: Optional[float] = None
+        #: extra attempts after the first failure (0 = fail fast)
+        self.retries: int = 0
+        #: base of the exponential retry backoff, in seconds
+        self.backoff: float = 0.05
+        self.telemetry: Optional[RunTelemetry] = None
 
 
 _settings = _Settings()
@@ -215,11 +282,16 @@ _settings = _Settings()
 def configure(
     jobs=_UNSET,
     cache=_UNSET,
+    timeout=_UNSET,
+    retries=_UNSET,
+    backoff=_UNSET,
+    telemetry=_UNSET,
 ) -> None:
     """Set process-wide defaults for :func:`run_many`.
 
-    The CLI calls this once from its ``--jobs`` / ``--no-cache``
-    flags; library callers normally pass explicit arguments instead.
+    The CLI calls this once from its ``--jobs`` / ``--no-cache`` /
+    ``--timeout`` / ``--retries`` flags; library callers normally pass
+    explicit arguments instead.
     """
     if jobs is not _UNSET:
         if jobs is None or int(jobs) < 1:
@@ -227,62 +299,463 @@ def configure(
         _settings.jobs = int(jobs)
     if cache is not _UNSET:
         _settings.cache = cache
+    if timeout is not _UNSET:
+        if timeout is not None and float(timeout) <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive or None: {timeout!r}"
+            )
+        _settings.timeout = None if timeout is None else float(timeout)
+    if retries is not _UNSET:
+        if retries is None or int(retries) < 0:
+            raise ConfigurationError(
+                f"retries must be a non-negative int: {retries!r}"
+            )
+        _settings.retries = int(retries)
+    if backoff is not _UNSET:
+        if backoff is None or float(backoff) < 0:
+            raise ConfigurationError(
+                f"backoff must be a non-negative float: {backoff!r}"
+            )
+        _settings.backoff = float(backoff)
+    if telemetry is not _UNSET:
+        _settings.telemetry = telemetry
 
 
-def current_settings():
-    """The active (jobs, cache) defaults — introspection for tests."""
-    return _settings.jobs, _settings.cache
+def current_settings() -> EngineSettings:
+    """The active engine defaults — introspection and save/restore."""
+    return EngineSettings(
+        jobs=_settings.jobs,
+        cache=_settings.cache,
+        timeout=_settings.timeout,
+        retries=_settings.retries,
+        backoff=_settings.backoff,
+        telemetry=_settings.telemetry,
+    )
 
 
 # -- execution ----------------------------------------------------------------
+
+#: How many times a broken process pool is respawned before the engine
+#: degrades to in-process execution for the remaining specs.
+POOL_RESPAWN_LIMIT = 2
+
+#: Poll interval (seconds) of the completion loop when per-spec
+#: timeouts or retry backoffs may need servicing between completions.
+_POLL_INTERVAL = 0.05
+
+#: Submission depth: keep up to ``jobs * _QUEUE_DEPTH`` futures in
+#: flight so workers never starve between poll iterations.
+_QUEUE_DEPTH = 2
+
+
+class _Task:
+    """Engine-internal per-unique-spec execution state."""
+
+    __slots__ = ("spec", "key", "attempts", "crashes", "not_before")
+
+    def __init__(self, spec: RunSpec, key: str) -> None:
+        self.spec = spec
+        self.key = key
+        self.attempts = 0  # simulation attempts actually started
+        self.crashes = 0  # attempts lost to worker-process deaths
+        self.not_before = 0.0  # monotonic deadline for the next attempt
+
+
+class _BatchState:
+    """Shared mutable state of one ``run_many`` batch."""
+
+    def __init__(self, cache, telemetry, label, timeout, retries, backoff):
+        self.cache = cache
+        self.telemetry = telemetry
+        self.label = label
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.results: Dict[str, RunResult] = {}
+        self.failures: List[SpecFailure] = []
+
+    # -- telemetry ---------------------------------------------------------
+
+    def record(self, task: _Task, outcome: str, wall: float,
+               error: Optional[str], mode: str) -> None:
+        if self.telemetry is None:
+            return
+        spec = task.spec
+        self.telemetry.record(
+            RunRecord(
+                workload=spec.workload,
+                size=spec.size,
+                scheme=spec.scheme,
+                seed=spec.seed,
+                kind=spec.kind,
+                key=task.key,
+                outcome=outcome,
+                attempt=task.attempts,
+                wall_time=wall,
+                error=error,
+                cache_hit=False,
+                mode=mode,
+                label=self.label,
+            )
+        )
+
+    def record_cache_hit(self, spec: RunSpec, key: str) -> None:
+        if self.telemetry is None:
+            return
+        self.telemetry.record(
+            RunRecord(
+                workload=spec.workload,
+                size=spec.size,
+                scheme=spec.scheme,
+                seed=spec.seed,
+                kind=spec.kind,
+                key=key,
+                outcome="cached",
+                attempt=0,
+                wall_time=0.0,
+                error=None,
+                cache_hit=True,
+                mode="cache",
+                label=self.label,
+            )
+        )
+
+    # -- outcomes ----------------------------------------------------------
+
+    def deliver(self, task: _Task, result: RunResult, wall: float,
+                mode: str) -> None:
+        """A spec completed: salvage it into cache + results *now*."""
+        self.results[task.key] = result
+        if self.cache is not None:
+            self.cache.put(task.key, result)
+        self.record(task, "ok", wall, None, mode)
+
+    def attempt_failed(self, task: _Task, kind: str, error: str,
+                       wall: float, mode: str) -> bool:
+        """Handle one failed attempt; True if the task will be retried.
+
+        ``kind`` is ``"error"``/``"timeout"``/``"crash"``.  Crash
+        attempts (worker-process deaths) have their own small budget —
+        tied to :data:`POOL_RESPAWN_LIMIT` — so one poisonous spec
+        killing a worker does not burn the retry budget of the
+        innocent specs that died with it.
+        """
+        if kind == "crash":
+            task.crashes += 1
+            retry = (
+                task.crashes <= POOL_RESPAWN_LIMIT
+                or task.attempts <= self.retries
+            )
+        else:
+            retry = task.attempts <= self.retries
+        if retry:
+            task.not_before = time.monotonic() + self.backoff * (
+                2 ** max(task.attempts - 1, 0)
+            )
+            self.record(task, "retry", wall, error, mode)
+            return True
+        outcome = {"error": "failed", "timeout": "timeout",
+                   "crash": "crash"}[kind]
+        self.record(task, outcome, wall, error, mode)
+        self.failures.append(
+            SpecFailure(
+                spec=task.spec,
+                key=task.key,
+                kind=kind,
+                attempts=task.attempts,
+                error=error,
+                wall_time=wall,
+            )
+        )
+        return False
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _run_inline(tasks: Sequence[_Task], state: _BatchState) -> None:
+    """Serial executor: one attempt at a time, in this process.
+
+    The per-spec timeout is enforced post-hoc (an in-process
+    simulation cannot be preempted): an attempt that comes back after
+    its budget is discarded and counted as a timeout, so the
+    spec-level outcome matches the pool executor's.
+    """
+    for task in tasks:
+        while True:
+            delay = task.not_before - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            task.attempts += 1
+            start = time.monotonic()
+            error = None
+            kind = None
+            result = None
+            try:
+                result = run_spec(task.spec)
+            except Exception as exc:  # noqa: BLE001 - engine boundary
+                kind, error = "error", _describe(exc)
+            wall = time.monotonic() - start
+            if kind is None and (
+                state.timeout is not None and wall > state.timeout
+            ):
+                kind = "timeout"
+                error = (
+                    f"exceeded per-spec timeout of {state.timeout}s "
+                    f"(took {wall:.3f}s; enforced post-hoc in-process)"
+                )
+            if kind is None:
+                state.deliver(task, result, wall, "inline")
+                break
+            if not state.attempt_failed(task, kind, error, wall, "inline"):
+                break
+
+
+def _spawn_pool(jobs: int) -> Optional[ProcessPoolExecutor]:
+    """Create a process pool, or None where one cannot exist.
+
+    Sandboxed environments may forbid spawning subprocesses entirely
+    (``fork``/``spawn`` raising ``OSError``/``PermissionError``); the
+    engine then degrades to in-process execution rather than failing
+    the batch.
+    """
+    try:
+        return ProcessPoolExecutor(max_workers=jobs)
+    except (OSError, PermissionError, RuntimeError,
+            NotImplementedError):  # pragma: no cover - sandbox-dependent
+        return None
+
+
+def _degrade(crashed: List, queue, state: _BatchState) -> List["_Task"]:
+    """The pool is beyond saving: hand every live task to the caller.
+
+    The specs that were in flight when the pool died for the last time
+    (``crashed``: (task, wall) pairs) are *not* terminally failed —
+    one poisonous spec repeatedly killing workers must not take
+    innocent in-flight specs down with it.  They get a "retry"
+    telemetry record and run in-process instead (where the guilty
+    spec's failure is attributable to it alone).
+    """
+    leftover: List[_Task] = []
+    for task, wall in crashed:
+        state.record(
+            task, "retry", wall,
+            "worker process died (pool retired; continuing in-process)",
+            "pool",
+        )
+        leftover.append(task)
+    leftover.extend(queue)
+    for task in leftover:
+        task.not_before = 0.0  # no point backing off in-process
+    return leftover
+
+
+def _run_pool(tasks: Sequence[_Task], jobs: int,
+              state: _BatchState) -> List[_Task]:
+    """Pool executor: submit/collect with timeouts, retries, respawn.
+
+    Returns the tasks that could *not* be executed because the pool
+    kept breaking (or could never start); the caller falls back to
+    :func:`_run_inline` for those.
+    """
+    pool = _spawn_pool(jobs)
+    if pool is None:
+        return list(tasks)
+
+    queue = deque(tasks)
+    outstanding: Dict[object, List] = {}  # future -> [task, t0]
+    respawns = 0
+    # Poll between completions only when there is something to service
+    # (per-spec timeouts or backoff-delayed retries); otherwise block
+    # until a future finishes.
+    needs_polling = state.timeout is not None or state.retries > 0
+
+    try:
+        while queue or outstanding:
+            now = time.monotonic()
+            broken = False
+            #: tasks whose futures died with the pool this iteration;
+            #: their fate (crash attempt vs. rescue) is decided *after*
+            #: the respawn-budget check below, so innocent in-flight
+            #: specs are not terminally failed on the pool's last gasp.
+            crashed: List = []  # (task, wall) pairs
+
+            # -- submit every eligible queued task (bounded in-flight) --
+            for _ in range(len(queue)):
+                if len(outstanding) >= jobs * _QUEUE_DEPTH:
+                    break
+                task = queue[0]
+                if task.not_before > now:
+                    queue.rotate(-1)
+                    continue
+                queue.popleft()
+                task.attempts += 1
+                try:
+                    fut = pool.submit(run_spec, task.spec)
+                except (BrokenProcessPool, RuntimeError, OSError):
+                    task.attempts -= 1  # the attempt never started
+                    queue.appendleft(task)
+                    broken = True
+                    break
+                outstanding[fut] = [task, time.monotonic()]
+
+            # -- collect completions -----------------------------------
+            if outstanding and not broken:
+                done, _ = wait(
+                    set(outstanding),
+                    timeout=_POLL_INTERVAL if needs_polling else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                for fut in done:
+                    task, t0 = outstanding.pop(fut)
+                    wall = now - t0
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        crashed.append((task, wall))
+                    except Exception as exc:  # noqa: BLE001
+                        if state.attempt_failed(
+                            task, "error", _describe(exc), wall, "pool"
+                        ):
+                            queue.append(task)
+                    else:
+                        state.deliver(task, result, wall, "pool")
+
+                # -- expire per-spec timeouts ----------------------------
+                if state.timeout is not None and not broken:
+                    for fut in list(outstanding):
+                        task, t0 = outstanding[fut]
+                        if now - t0 > state.timeout:
+                            del outstanding[fut]
+                            # cancel() only helps if it never started;
+                            # a running worker keeps its slot until it
+                            # returns, and its result is discarded.
+                            fut.cancel()
+                            if state.attempt_failed(
+                                task, "timeout",
+                                f"exceeded per-spec timeout of "
+                                f"{state.timeout}s", now - t0, "pool",
+                            ):
+                                queue.append(task)
+            elif queue and not broken:
+                # everything queued is backoff-delayed; sleep it off
+                delay = min(t.not_before for t in queue) - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+
+            # -- pool death: respawn (bounded) or degrade ---------------
+            if broken:
+                pool.shutdown(wait=False)
+                respawns += 1
+                # everything still outstanding died with the pool too
+                now = time.monotonic()
+                for fut, (task, t0) in outstanding.items():
+                    crashed.append((task, now - t0))
+                outstanding.clear()
+                if respawns > POOL_RESPAWN_LIMIT:
+                    return _degrade(crashed, queue, state)
+                for task, wall in crashed:
+                    if state.attempt_failed(
+                        task, "crash", "worker process died", wall, "pool"
+                    ):
+                        queue.append(task)
+                pool = _spawn_pool(jobs)
+                if pool is None:  # pragma: no cover - sandbox-dependent
+                    return _degrade([], queue, state)
+        return []
+    finally:
+        # wait=False: abandoned (timed-out) futures may still be
+        # running; their workers drain on their own.
+        if pool is not None:
+            pool.shutdown(wait=False)
 
 
 def run_many(
     specs: Sequence[RunSpec],
     jobs=_UNSET,
     cache=_UNSET,
+    timeout=_UNSET,
+    retries=_UNSET,
+    backoff=_UNSET,
+    telemetry=_UNSET,
+    label: Optional[str] = None,
 ) -> List[RunResult]:
     """Execute ``specs``, returning results in the same order.
 
     Identical specs (equal content keys) are simulated once; cached
     results are reused without simulation.  With ``jobs > 1`` the
     outstanding unique specs are fanned across a process pool.
+
+    Fault tolerance: failing/hanging/crashing specs are retried up to
+    ``retries`` times (exponential backoff starting at ``backoff``
+    seconds, per-attempt wall-time budget ``timeout``); if any spec
+    still fails, every *successful* result is cached first and an
+    :class:`~repro.errors.EngineError` is raised carrying the per-spec
+    failure log and the salvaged results.  ``label`` tags this batch's
+    telemetry records (figures/tables pass their target name).
     """
     if jobs is _UNSET:
         jobs = _settings.jobs
     if cache is _UNSET:
         cache = _settings.cache
+    if timeout is _UNSET:
+        timeout = _settings.timeout
+    if retries is _UNSET:
+        retries = _settings.retries
+    if backoff is _UNSET:
+        backoff = _settings.backoff
+    if telemetry is _UNSET:
+        telemetry = _settings.telemetry
     if jobs is None or int(jobs) < 1:
         raise ConfigurationError(f"jobs must be a positive int: {jobs!r}")
     jobs = int(jobs)
+    if retries is None or int(retries) < 0:
+        raise ConfigurationError(
+            f"retries must be a non-negative int: {retries!r}"
+        )
+    retries = int(retries)
+
+    state = _BatchState(cache, telemetry, label, timeout, retries, backoff)
 
     keys = [spec.key() for spec in specs]
-    results: Dict[str, RunResult] = {}
-    pending: List[RunSpec] = []
-    pending_keys: List[str] = []
+    tasks: List[_Task] = []
+    cached_hits: List = []  # (spec, key) pairs served from cache
+    seen: set = set()  # O(1) dedup membership (keeps `tasks` ordered)
     for spec, key in zip(specs, keys):
-        if key in results or key in pending_keys:
+        if key in seen:
             continue
+        seen.add(key)
         if cache is not None:
             hit = cache.get(key)
             if hit is not None:
-                results[key] = hit
+                state.results[key] = hit
+                cached_hits.append((spec, key))
                 continue
-        pending.append(spec)
-        pending_keys.append(key)
+        tasks.append(_Task(spec, key))
 
-    if pending:
-        if jobs > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                computed = list(pool.map(run_spec, pending))
+    if telemetry is not None:
+        telemetry.expect(len(cached_hits) + len(tasks))
+    for spec, key in cached_hits:
+        state.record_cache_hit(spec, key)
+
+    if tasks:
+        if jobs > 1 and len(tasks) > 1:
+            leftover = _run_pool(tasks, jobs, state)
         else:
-            computed = [spec.run() for spec in pending]
-        for key, result in zip(pending_keys, computed):
-            results[key] = result
-            if cache is not None:
-                cache.put(key, result)
+            leftover = list(tasks)
+        if leftover:
+            _run_inline(leftover, state)
 
-    return [results[key] for key in keys]
+    if state.failures:
+        raise EngineError(
+            state.failures,
+            completed=dict(state.results),
+            total=len(seen),
+        )
+    return [state.results[key] for key in keys]
 
 
 def parallel_sweep(
@@ -292,6 +765,7 @@ def parallel_sweep(
     seed: int = 1,
     jobs=_UNSET,
     cache=_UNSET,
+    label: Optional[str] = None,
 ) -> Dict[int, Dict[str, RunResult]]:
     """Sizes x schemes sweep with the same shape as ``runner.sweep``."""
     specs = [
@@ -299,7 +773,9 @@ def parallel_sweep(
         for size in sizes
         for scheme in schemes
     ]
-    results = run_many(specs, jobs=jobs, cache=cache)
+    results = run_many(
+        specs, jobs=jobs, cache=cache, label=label or f"sweep:{workload}"
+    )
     it = iter(results)
     return {
         size: {scheme: next(it) for scheme in schemes} for size in sizes

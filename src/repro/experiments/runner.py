@@ -79,10 +79,15 @@ def sweep(
     """Run a workload across sizes x schemes (fresh machine each run).
 
     Delegates to the parallel engine, which honours the process-wide
-    ``configure(jobs=..., cache=...)`` defaults (serial, uncached out
-    of the box) — so figure code and tests keep the old call shape
-    while the CLI can fan the same sweeps across workers.
+    ``configure(jobs=..., cache=..., timeout=..., retries=...)``
+    defaults (serial, uncached, no-timeout, no-retry out of the box) —
+    so figure code and tests keep the old call shape while the CLI can
+    fan the same sweeps across workers.  If any run fails beyond its
+    retry budget the engine raises :class:`repro.errors.EngineError`
+    after caching every successful run of the sweep.
     """
     from repro.experiments.parallel import parallel_sweep
 
-    return parallel_sweep(workload, sizes, schemes, seed=seed)
+    return parallel_sweep(
+        workload, sizes, schemes, seed=seed, label=f"sweep:{workload}"
+    )

@@ -40,7 +40,8 @@ def motivation_profile(
         [
             RunSpec("histogram", bins, scheme, seed)
             for scheme in versions.values()
-        ]
+        ],
+        label="motivation",
     )
     out: Dict[str, Dict[str, float]] = {}
     for label, result in zip(versions, results):

@@ -1,0 +1,190 @@
+"""Run telemetry for the fault-tolerant experiment engine.
+
+A million-spec sweep is only debuggable if every run leaves a record:
+what ran, where (pool worker or in-process), how long it took, how many
+attempts it needed, and how it ended.  :class:`RunTelemetry` is the
+engine's sink for those records.  It is deliberately dumb — an
+append-only list plus counters — so it can sit on the engine's hot
+completion path without becoming a bottleneck.
+
+* :class:`RunRecord` — one attempt of one :class:`~repro.experiments.
+  parallel.RunSpec`: spec identity, batch label, outcome, attempt
+  number, wall time, error text, and whether it was served from cache.
+* :class:`RunTelemetry` — collects records, drives an optional
+  progress callback, renders an end-of-batch summary table, and
+  exports/imports a JSONL run log (one record per line) that the
+  resilience test suite consumes.
+
+Outcomes
+--------
+
+``cached``
+    Served from the :class:`~repro.experiments.parallel.ResultCache`;
+    no simulation ran.
+``ok``
+    The attempt completed and its result was accepted.
+``retry``
+    The attempt failed (error, timeout, or worker crash) but the
+    retry budget was not exhausted; another attempt follows.
+``failed`` / ``timeout`` / ``crash``
+    The final attempt ended the spec's run: an exception, a per-spec
+    timeout expiry, or a worker-process death respectively.  These
+    specs appear in the :class:`~repro.errors.EngineError` failure
+    log.
+
+The engine records one :class:`RunRecord` per *attempt*, so the JSONL
+log doubles as a retry trace; per-spec aggregates (attempt counts,
+total wall time) are derived, not stored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+#: Outcomes that end a spec's run (used for progress accounting).
+FINAL_OUTCOMES = frozenset({"cached", "ok", "failed", "timeout", "crash"})
+
+#: Outcomes that count as failures in the summary.
+FAILURE_OUTCOMES = frozenset({"failed", "timeout", "crash"})
+
+
+@dataclass
+class RunRecord:
+    """One attempt of one spec (or one cache hit)."""
+
+    workload: str
+    size: int
+    scheme: str
+    seed: int
+    kind: str
+    key: str
+    outcome: str
+    attempt: int = 1
+    wall_time: float = 0.0
+    error: Optional[str] = None
+    cache_hit: bool = False
+    mode: str = "inline"  # "inline" | "pool"
+    label: Optional[str] = None
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunRecord":
+        payload = json.loads(line)
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
+
+
+#: Progress callback signature: ``(record, done, expected)`` where
+#: ``done`` counts specs that reached a final outcome and ``expected``
+#: is the number of unique specs the engine has announced so far.
+ProgressCallback = Callable[[RunRecord, int, int], None]
+
+
+class RunTelemetry:
+    """Append-only sink for engine run records.
+
+    Thread-safety: the engine appends from its coordinating thread
+    only, so no locking is needed.  A single instance may span many
+    ``run_many`` batches (the CLI keeps one for the whole invocation
+    and prints one summary at the end).
+    """
+
+    def __init__(self, progress: Optional[ProgressCallback] = None) -> None:
+        self.records: List[RunRecord] = []
+        self.progress = progress
+        self._done = 0
+        self._expected = 0
+
+    # -- engine-facing API -------------------------------------------------
+
+    def expect(self, n: int) -> None:
+        """Announce ``n`` more unique specs (drives progress totals)."""
+        self._expected += n
+
+    def record(self, rec: RunRecord) -> None:
+        self.records.append(rec)
+        if rec.outcome in FINAL_OUTCOMES:
+            self._done += 1
+            if self.progress is not None:
+                self.progress(rec, self._done, self._expected)
+
+    # -- aggregates --------------------------------------------------------
+
+    @property
+    def done(self) -> int:
+        return self._done
+
+    @property
+    def expected(self) -> int:
+        return self._expected
+
+    def attempts_for(self, key: str) -> int:
+        """How many simulation attempts spec ``key`` consumed."""
+        return sum(
+            1 for r in self.records if r.key == key and not r.cache_hit
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate counters for the end-of-batch summary."""
+        by_outcome: Dict[str, int] = {}
+        for rec in self.records:
+            by_outcome[rec.outcome] = by_outcome.get(rec.outcome, 0) + 1
+        simulated = [r for r in self.records if not r.cache_hit]
+        return {
+            "specs": self._done,
+            "cached": by_outcome.get("cached", 0),
+            "ok": by_outcome.get("ok", 0),
+            "retries": by_outcome.get("retry", 0),
+            "failed": sum(by_outcome.get(o, 0) for o in FAILURE_OUTCOMES),
+            "attempts": len(simulated),
+            "wall_time": sum(r.wall_time for r in simulated),
+        }
+
+    def summary_table(self) -> str:
+        """Human-readable end-of-batch summary (CLI epilogue)."""
+        from repro.experiments.report import format_table
+
+        s = self.summary()
+        rows = [
+            ("specs completed", s["specs"]),
+            ("cache hits", s["cached"]),
+            ("simulated ok", s["ok"]),
+            ("retries", s["retries"]),
+            ("failed", s["failed"]),
+            ("simulation attempts", s["attempts"]),
+            ("simulation wall-time (s)", round(s["wall_time"], 2)),
+        ]
+        return format_table(
+            ["metric", "value"], rows, title="Engine telemetry"
+        )
+
+    # -- JSONL run log -----------------------------------------------------
+
+    def export_jsonl(self, path: str) -> int:
+        """Write one JSON object per record; returns the record count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in self.records:
+                fh.write(rec.to_json())
+                fh.write("\n")
+        return len(self.records)
+
+    @staticmethod
+    def read_jsonl(path: str) -> List[RunRecord]:
+        """Load a run log written by :meth:`export_jsonl`."""
+        records: List[RunRecord] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(RunRecord.from_json(line))
+        return records
+
+    def reset(self) -> None:
+        self.records.clear()
+        self._done = 0
+        self._expected = 0

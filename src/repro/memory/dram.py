@@ -136,3 +136,14 @@ class DRAM:
     def open_row(self, bank: int):
         """The row currently open in ``bank`` (open policy only)."""
         return self._open_rows.get(bank)
+
+    def close_rows(self) -> None:
+        """Precharge every bank (forget all open-row state).
+
+        Called by :meth:`repro.core.machine.Machine.reset_stats`
+        between measurement phases: open-row state is part of the
+        *measured* timing channel, so a warm-up phase must not bleed
+        row-buffer locality into the measured window.  No-op under the
+        closed policy, which never tracks open rows.
+        """
+        self._open_rows.clear()

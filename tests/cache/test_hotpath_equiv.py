@@ -165,6 +165,34 @@ def test_unsubscribe_never_subscribed_is_noop():
     assert rec.events == [("fill", 0, False)]
 
 
+def test_unsubscribe_removes_by_identity_not_equality():
+    """Regression: ``unsubscribe`` used ``list.remove`` (``==``), so a
+    listener overriding ``__eq__`` could evict the *wrong* subscriber
+    while its own entry survived — out of sync with the ``id()``-based
+    membership set."""
+
+    class EqualRecorder(_Recorder):
+        def __eq__(self, other):  # every instance compares equal
+            return isinstance(other, EqualRecorder)
+
+        def __hash__(self):
+            return 0
+
+    cache = SetAssociativeCache("A", 8 * 1024, 4, latency=1)
+    first, second = EqualRecorder(), EqualRecorder()
+    cache.events.subscribe(first)
+    cache.events.subscribe(second)
+    cache.events.unsubscribe(second)  # must remove *second*, not first
+    cache.fill(0)
+    assert first.events == [("fill", 0, False)]
+    assert second.events == []
+    # and the survivor can still be unsubscribed cleanly
+    cache.events.unsubscribe(first)
+    assert not cache.events.has_listeners
+    cache.fill(64)
+    assert first.events == [("fill", 0, False)]
+
+
 def test_double_subscribe_is_idempotent():
     cache = SetAssociativeCache("A", 8 * 1024, 4, latency=1)
     rec = _Recorder()

@@ -121,6 +121,23 @@ class TestInterconnectSecurity:
         }
         assert len(traces) > 1
 
+    def test_reset_stats_clears_slice_trace(self):
+        """Regression: ``Machine.reset_stats`` must drop the
+        interconnect trace, or warm-up traffic leaks into the measured
+        phase on sliced-LLC machines (it used to survive resets)."""
+        machine = llc_machine(ls_hash=8)
+        ctx, base, ds = setup_array(machine)
+        ctx.load(ds, base)
+        assert machine.slice_trace  # warm-up produced traffic
+        machine.reset_stats()
+        assert machine.slice_trace == []
+        # the measured phase starts from a clean trace
+        ctx.load(ds, base + 4)
+        measured = tuple(machine.slice_trace)
+        machine.reset_stats()
+        ctx.load(ds, base + 4)
+        assert tuple(machine.slice_trace) == measured
+
     def test_gather_slice_trace_secret_independent(self):
         def trace(secret):
             machine = llc_machine(ls_hash=8)

@@ -168,12 +168,32 @@ class TestDRAMPolicy:
 
     def test_open_policy_row_hit_is_cheaper(self):
         """Two uncached accesses to the same row: the second is a row
-        hit under the open policy, full latency under the closed one."""
+        hit under the open policy, full latency under the closed one.
+
+        (Measured as a cycle delta rather than via ``reset_stats``,
+        which now deliberately precharges the row buffers between
+        measurement phases.)
+        """
         closed = Machine(MachineConfig())
         opened = Machine(MachineConfig(dram_policy="open"))
+        deltas = {}
         for m in (closed, opened):
             m.load_word_uncached(0x10000)
-            m.reset_stats()
+            warm = m.stats.cycles
             m.load_word_uncached(0x10040)  # same row
-        assert closed.stats.cycles == closed.dram.latency
-        assert opened.stats.cycles == opened.dram.row_hit_latency
+            deltas[m] = m.stats.cycles - warm
+        assert deltas[closed] == closed.dram.latency
+        assert deltas[opened] == opened.dram.row_hit_latency
+
+    def test_reset_stats_precharges_open_rows(self):
+        """reset_stats forgets open-row state: the first measured
+        access after a reset pays the full (conflict) latency even if
+        warm-up left its row open."""
+        m = Machine(MachineConfig(dram_policy="open"))
+        m.load_word_uncached(0x10000)  # warm-up opens the row
+        assert m.dram.open_row(m.dram.bank_of(0x10000)) is not None
+        m.reset_stats()
+        assert m.dram.open_row(m.dram.bank_of(0x10000)) is None
+        m.load_word_uncached(0x10040)  # same row, but freshly precharged
+        assert m.stats.cycles == m.dram.latency
+        assert m.dram.stats.row_conflicts == 1

@@ -103,6 +103,31 @@ def test_run_many_preserves_order_and_dedups():
     assert cache.stats.stores == 2
 
 
+def test_heavily_duplicated_sweep_dedups_in_order():
+    """Regression for the O(n^2) `key in pending_keys` list scan: the
+    engine tracks pending membership in a set, but must still return
+    results in submission order and simulate each unique spec once."""
+    unique = [
+        RunSpec("histogram", size, scheme)
+        for size in (200, 300)
+        for scheme in ("insecure", "ct")
+    ]
+    # 50 interleaved repetitions of the 4 unique specs
+    specs = [unique[i % len(unique)] for i in range(200)]
+    cache = ResultCache()
+    results = run_many(specs, cache=cache)
+    assert len(results) == 200
+    assert cache.stats.stores == len(unique)  # each simulated exactly once
+    for i, result in enumerate(results):
+        expected = unique[i % len(unique)]
+        assert (result.size, result.scheme) == (
+            expected.size,
+            expected.scheme,
+        )
+        # duplicates share the one computed object
+        assert result is results[i % len(unique)]
+
+
 # ---------------------------------------------------------------------------
 # cache: warm runs simulate nothing
 # ---------------------------------------------------------------------------
