@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# One entry point for both lints:
+#   * the repo's own style lint (ruff, when installed — config lives in
+#     pyproject.toml [tool.ruff]); skipped gracefully offline;
+#   * the domain lint: `python -m repro ctcheck --all`, the
+#     constant-time checker over every built-in IR program and every
+#     workload's registered dataflow linearization sets (exits 1 on
+#     error-severity findings such as DS-COVERAGE).
+#
+# Usage: scripts/lint.sh [extra ctcheck args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check"
+    ruff check src tests benchmarks examples
+else
+    echo "== ruff not installed; skipping style lint"
+fi
+
+echo "== python -m repro ctcheck --all"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro ctcheck --all "$@"

@@ -1,0 +1,66 @@
+"""Constant-time checking: static lint, interval proofs, trace sanitizer.
+
+The simulator's mitigation layers (:mod:`repro.ct`) *transform* secret
+dependent behaviour away; this package *verifies* that discipline at
+three layers:
+
+* :mod:`repro.analysis.ctlint` — structured diagnostics over
+  :mod:`repro.lang.ir` programs (stable rule IDs, severities, exact
+  program points via :func:`repro.lang.pretty.statement_paths`);
+* :mod:`repro.analysis.intervals` — a value-range abstract interpreter
+  (widening over loops) that bounds every ``Load``/``Store`` index and
+  proves whether a dataflow linearization set covers every address an
+  access can reach (:func:`~repro.analysis.intervals.prove_ds_covers`);
+* :mod:`repro.analysis.sanitizer` — a dynamic relational checker that
+  runs a program twice under differing secrets and diffs the
+  attacker-observable line-granularity traces and cycle counts
+  (Binsec/Rel-style self-composition, operationalized on the
+  simulated machine).
+
+:mod:`repro.analysis.api` ties the layers into the ``python -m repro
+ctcheck`` CLI subcommand and the ``ctcheck`` pytest marker.
+"""
+
+from repro.analysis.api import (
+    CTCheckResult,
+    audit_workload_ds,
+    builtin_programs,
+    check_program,
+    run_ctcheck,
+)
+from repro.analysis.ctlint import Finding, RULES, lint
+from repro.analysis.intervals import (
+    CoverageProof,
+    Interval,
+    IntervalReport,
+    analyze_intervals,
+    prove_ds_covers,
+)
+from repro.analysis.sanitizer import (
+    SanitizerReport,
+    TraceDivergence,
+    sanitize,
+    sanitize_program,
+    sanitize_workload,
+)
+
+__all__ = [
+    "CTCheckResult",
+    "CoverageProof",
+    "Finding",
+    "Interval",
+    "IntervalReport",
+    "RULES",
+    "SanitizerReport",
+    "TraceDivergence",
+    "analyze_intervals",
+    "audit_workload_ds",
+    "builtin_programs",
+    "check_program",
+    "lint",
+    "prove_ds_covers",
+    "run_ctcheck",
+    "sanitize",
+    "sanitize_program",
+    "sanitize_workload",
+]

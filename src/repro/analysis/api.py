@@ -1,0 +1,255 @@
+"""ctcheck orchestration: built-in programs, workload DS audits, CLI glue.
+
+Two target families:
+
+* **IR programs** (:mod:`repro.lang.programs`) are checked statically
+  with :func:`repro.analysis.ctlint.lint` (taint + intervals + DS
+  coverage);
+* **workloads** (:data:`repro.workloads.WORKLOADS`) register their
+  dataflow linearization sets imperatively at run time, so they are
+  audited *dynamically*: the workload runs once on a recording
+  context (:class:`DSAuditContext`) that checks every secret-dependent
+  access against the DS it was issued under and flags registrations no
+  access ever uses.
+
+:func:`run_ctcheck` aggregates both into a :class:`CTCheckResult`
+whose exit code the ``python -m repro ctcheck`` subcommand returns:
+1 iff any error-severity finding (``DS-COVERAGE``, ``CT-TRIPCOUNT``)
+survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.ctlint import Finding, lint, max_severity
+from repro.ct.context import MitigationContext
+from repro.ct.ds import DataflowLinearizationSet
+from repro.lang import ir
+from repro.lang.programs import (
+    conditional_sum_program,
+    histogram_program,
+    lookup_program,
+    swap_program,
+)
+
+#: Builders for every built-in program, at checking-friendly sizes.
+#: (Interval bounds do not depend on the concrete sizes; these keep
+#: the pretty-printed diagnostics small.)  Tests monkeypatch entries
+#: in here to drive the CLI over synthetic programs.
+BUILTIN_PROGRAM_SPECS: Dict[str, Callable[[], ir.Program]] = {
+    "lookup": lambda: lookup_program(64)[0],
+    "histogram": lambda: histogram_program(16, 8)[0],
+    "conditional_sum": lambda: conditional_sum_program(8)[0],
+    "swap": lambda: swap_program(16)[0],
+}
+
+
+def builtin_programs() -> Dict[str, ir.Program]:
+    """Instantiate every registered built-in program."""
+    return {name: build() for name, build in BUILTIN_PROGRAM_SPECS.items()}
+
+
+def check_program(
+    program: ir.Program,
+    ds_map: Optional[Dict[str, tuple]] = None,
+) -> List[Finding]:
+    """Static ctlint over one IR program (see :mod:`.ctlint`)."""
+    return lint(program, ds_map=ds_map)
+
+
+# ---------------------------------------------------------------------------
+# Dynamic workload DS audit
+# ---------------------------------------------------------------------------
+
+
+class DSAuditContext(MitigationContext):
+    """A mitigation context that *audits* instead of mitigating.
+
+    Accesses execute like the insecure baseline (straight to the
+    cache) while the context records every DS registration and checks
+    each secret-dependent access's address against the DS it was
+    issued under — accumulating findings rather than raising, so one
+    run reports every violation.
+    """
+
+    name = "ds-audit"
+
+    def __init__(self, machine) -> None:
+        super().__init__(machine)
+        self.registered: Dict[int, DataflowLinearizationSet] = {}
+        self.used: set = set()
+        self.violations: List[str] = []
+
+    def register_ds(
+        self, base: int, size_bytes: int, name: str = ""
+    ) -> DataflowLinearizationSet:
+        ds = super().register_ds(base, size_bytes, name)
+        self.registered[id(ds)] = ds
+        return ds
+
+    def _check(self, ds: DataflowLinearizationSet, addr: int) -> None:
+        self.used.add(id(ds))
+        if addr not in ds:
+            self.violations.append(
+                f"secret access {addr:#x} outside DS {ds.name!r} "
+                f"({len(ds.lines)} lines)"
+            )
+
+    def load(self, ds: DataflowLinearizationSet, addr: int) -> int:
+        self._check(ds, addr)
+        return self.machine.load_word(addr)
+
+    def store(
+        self, ds: DataflowLinearizationSet, addr: int, value: int
+    ) -> None:
+        self._check(ds, addr)
+        self.machine.store_word(addr, value)
+
+    def gather(
+        self, ds: DataflowLinearizationSet, addrs: Sequence[int]
+    ) -> List[int]:
+        return [self.load(ds, a) for a in addrs]
+
+
+#: Per-workload audit sizes: small enough for a fast unmitigated run,
+#: large enough to exercise every secret-dependent access path.
+AUDIT_SIZES: Dict[str, int] = {
+    "dijkstra": 16,
+    "histogram": 200,
+    "permutation": 128,
+    "binary_search": 256,
+    "heappop": 128,
+}
+
+
+def audit_workload_ds(
+    workload: str,
+    size: Optional[int] = None,
+    seed: int = 1,
+) -> List[Finding]:
+    """Run one workload on an auditing context; report DS findings.
+
+    * ``DS-COVERAGE`` (error) — a secret-dependent access fell outside
+      the DS it was issued under;
+    * ``CT-DEADMIT`` (warning) — a registered DS that no
+      secret-dependent access ever used (dead registration).
+    """
+    from repro.core.machine import Machine, MachineConfig
+    from repro.workloads import WORKLOADS
+
+    descriptor = WORKLOADS[workload]
+    if size is None:
+        size = AUDIT_SIZES.get(workload, descriptor.sizes[0])
+    ctx = DSAuditContext(Machine(MachineConfig()))
+    descriptor.run(ctx, size, seed)
+    findings: List[Finding] = []
+    target = f"workload:{workload}"
+    for violation in ctx.violations:
+        findings.append(
+            Finding(
+                rule="DS-COVERAGE",
+                severity="error",
+                program=target,
+                path="",
+                message=violation,
+            )
+        )
+    for ds_id, ds in ctx.registered.items():
+        if ds_id not in ctx.used:
+            findings.append(
+                Finding(
+                    rule="CT-DEADMIT",
+                    severity="warning",
+                    program=target,
+                    path="",
+                    message=(
+                        f"DS {ds.name!r} ({len(ds.lines)} lines) was "
+                        "registered but no secret-dependent access "
+                        "used it: dead mitigation registration"
+                    ),
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CTCheckResult:
+    """Everything one ctcheck invocation produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: human-readable names of every target checked
+    checked: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def counts(self) -> Dict[str, int]:
+        out = {"error": 0, "warning": 0, "info": 0}
+        for finding in self.findings:
+            out[finding.severity] = out.get(finding.severity, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        counts = self.counts()
+        worst = max_severity(self.findings) or "none"
+        return (
+            f"checked {len(self.checked)} target(s): "
+            f"{counts['error']} error(s), {counts['warning']} "
+            f"warning(s), {counts['info']} info — worst severity: "
+            f"{worst}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "checked": list(self.checked),
+            "findings": [f.as_dict() for f in self.findings],
+            "counts": self.counts(),
+            "exit_code": self.exit_code,
+        }
+
+
+def run_ctcheck(
+    programs: Optional[Sequence[str]] = None,
+    workloads: Optional[Sequence[str]] = None,
+    include_workloads: bool = True,
+    seed: int = 1,
+) -> CTCheckResult:
+    """Check built-in IR programs and/or workload DS registrations.
+
+    ``programs``/``workloads`` default to *all* registered ones;
+    ``include_workloads=False`` skips the (slower, dynamic) workload
+    audits entirely when only program names were requested.
+    """
+    from repro.workloads import WORKLOADS
+
+    result = CTCheckResult()
+    registry = BUILTIN_PROGRAM_SPECS
+    program_names = (
+        list(programs) if programs is not None else sorted(registry)
+    )
+    for name in program_names:
+        program = registry[name]()
+        result.findings.extend(check_program(program))
+        result.checked.append(f"program:{name}")
+    if include_workloads:
+        workload_names = (
+            list(workloads)
+            if workloads is not None
+            else sorted(WORKLOADS)
+        )
+        for name in workload_names:
+            result.findings.extend(audit_workload_ds(name, seed=seed))
+            result.checked.append(f"workload:{name}")
+    return result

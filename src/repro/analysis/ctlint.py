@@ -1,0 +1,402 @@
+"""Constant-time lint over the mini-IR (structured ``Finding`` diagnostics).
+
+Where :mod:`repro.lang.taint` *finds* secrets and the executor
+*transforms* them away, this pass tells the workload author what the
+toolchain is about to do — and what it cannot fix.  Every diagnostic
+is a :class:`Finding` with a stable rule ID, a severity, and the exact
+program point (a :func:`repro.lang.pretty.statement_paths` path), so
+the ``ctcheck`` CLI and the test-suite gate can both consume it.
+
+Rules
+-----
+
+=================  =========  =================================================
+``DS-COVERAGE``    error      a secret-indexed access can reach a line outside
+                              its dataflow linearization set (the silent-leak
+                              case Algorithms 2/3 cannot repair)
+``CT-TRIPCOUNT``   error      a ``For`` trip count is secret (or the loop sits
+                              under a secret branch): a termination channel no
+                              linearization repairs — strict mode raises
+                              ``ProtocolError``; lint downgrades it to a
+                              finding so the rest of the program is checked
+``CT-OOB``         warning    a *public*-indexed access may go out of bounds
+                              (runtime ``ProtocolError``, functional bug)
+``CT-VARLAT``      warning    ``div``/``mod`` (operand-dependent latency on
+                              real hardware, per the ``ir.OPS`` cost table) on
+                              a secret operand; the simulator's fixed-cost
+                              model hides it, silicon would not
+``CT-DECLASS``     warning    a tainted value is stored into a public output
+                              array — the program declassifies secret-derived
+                              data through its result
+``CT-DEADMIT``     warning    an array is registered for mitigation (every
+                              declared array gets a DS) but no secret-indexed
+                              or predicated access ever uses it: dead
+                              registration, wasted BIA work
+``CT-LINEARIZE``   info       a secret branch the executor will control-flow
+                              linearize (both sides run under a predicate)
+``CT-DFL``         info       a secret-indexed access the executor will route
+                              through its DS (data-flow linearization)
+``CT-SELECT``      info       a ``Select`` with a secret *condition* —
+                              branchless by construction, no transformation
+                              needed (distinct from ordinary data taint)
+``CT-SUMMARY``     info       per-program totals: what will be linearized
+=================  =========  =================================================
+
+``lint(program)`` returns the findings; error severity means the
+program (or its registered DS) is unsafe to run mitigated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.intervals import (
+    IntervalReport,
+    analyze_intervals,
+    prove_ds_covers,
+)
+from repro.ct.ds import DataflowLinearizationSet
+from repro.lang import ir
+from repro.lang.pretty import path_index, render_stmt
+from repro.lang.taint import TaintReport, analyze
+
+#: Instruction-cost threshold above which an op counts as
+#: variable-latency on real hardware (``div``/``mod`` sit at 24 in
+#: :data:`repro.lang.ir.OPS`; every fixed-latency ALU op is <= 3).
+VARLAT_COST_THRESHOLD = 8
+
+SEVERITY_ORDER = ("info", "warning", "error")
+
+#: rule ID -> (severity, one-line description) — the stable public table.
+RULES: Dict[str, Tuple[str, str]] = {
+    "DS-COVERAGE": (
+        "error",
+        "secret-indexed access can escape its dataflow linearization set",
+    ),
+    "CT-TRIPCOUNT": (
+        "error",
+        "secret loop trip count (termination channel)",
+    ),
+    "CT-OOB": (
+        "warning",
+        "public-indexed access may go out of bounds",
+    ),
+    "CT-VARLAT": (
+        "warning",
+        "variable-latency op (div/mod) on a secret operand",
+    ),
+    "CT-DECLASS": (
+        "warning",
+        "tainted value stored into a public output array",
+    ),
+    "CT-DEADMIT": (
+        "warning",
+        "array registered for mitigation but never secret-accessed",
+    ),
+    "CT-LINEARIZE": (
+        "info",
+        "secret branch: executor will control-flow linearize",
+    ),
+    "CT-DFL": (
+        "info",
+        "secret-indexed access: executor will data-flow linearize",
+    ),
+    "CT-SELECT": (
+        "info",
+        "secret-condition select (branchless by construction)",
+    ),
+    "CT-SUMMARY": ("info", "per-program transformation totals"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: rule, severity, location, message."""
+
+    rule: str
+    severity: str
+    program: str
+    path: str
+    message: str
+    snippet: str = ""
+
+    def format(self) -> str:
+        loc = f"{self.program}:{self.path}" if self.path else self.program
+        line = f"{self.severity:<7} {self.rule:<12} {loc}  {self.message}"
+        if self.snippet:
+            line += f"  [{self.snippet}]"
+        return line
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "program": self.program,
+            "path": self.path,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+def max_severity(findings: List[Finding]) -> Optional[str]:
+    """The highest severity present, or ``None`` for an empty list."""
+    if not findings:
+        return None
+    return max(
+        (f.severity for f in findings), key=SEVERITY_ORDER.index
+    )
+
+
+class _Linter:
+    def __init__(
+        self,
+        program: ir.Program,
+        taint: TaintReport,
+        intervals: IntervalReport,
+        ds_map: Optional[Dict[str, Tuple[DataflowLinearizationSet, int]]],
+    ) -> None:
+        self.program = program
+        self.taint = taint
+        self.intervals = intervals
+        self.ds_map = ds_map or {}
+        self.paths = path_index(program)
+        self.findings: List[Finding] = []
+        #: arrays with at least one access the executor will mitigate
+        self.mitigated_arrays: set = set()
+        self.n_secret_branches = 0
+        self.n_secret_accesses = 0
+        self.n_secret_selects = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _emit(self, rule: str, stmt, message: str) -> None:
+        severity = RULES[rule][0]
+        path = self.paths.get(id(stmt), "") if stmt is not None else ""
+        snippet = render_stmt(stmt, self.taint) if stmt is not None else ""
+        self.findings.append(
+            Finding(
+                rule=rule,
+                severity=severity,
+                program=self.program.name,
+                path=path,
+                message=message,
+                snippet=snippet,
+            )
+        )
+
+    def _tainted(self, operand: ir.Operand) -> bool:
+        return (
+            isinstance(operand, str) and operand in self.taint.tainted_regs
+        )
+
+    # -- the pass ----------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        self._walk(self.program.body, under_secret=False)
+        self._check_dead_mitigations()
+        self._summarize()
+        self.findings.sort(
+            key=lambda f: (
+                -SEVERITY_ORDER.index(f.severity),
+                f.rule,
+                f.path,
+            )
+        )
+        return self.findings
+
+    def _walk(self, body: Tuple, under_secret: bool) -> None:
+        for stmt in body:
+            self._visit(stmt, under_secret)
+
+    def _visit(self, stmt, under_secret: bool) -> None:
+        if isinstance(stmt, ir.BinOp):
+            self._visit_binop(stmt)
+        elif isinstance(stmt, ir.Select):
+            if self.taint.is_secret_cond_select(stmt):
+                self.n_secret_selects += 1
+                self._emit(
+                    "CT-SELECT",
+                    stmt,
+                    f"select on secret condition {stmt.cond!r}: "
+                    "branchless by construction, no transformation needed",
+                )
+        elif isinstance(stmt, (ir.Load, ir.Store)):
+            self._visit_access(stmt, under_secret)
+        elif isinstance(stmt, ir.If):
+            secret = under_secret or self.taint.is_secret_branch(stmt)
+            if self.taint.is_secret_branch(stmt):
+                self.n_secret_branches += 1
+                self._emit(
+                    "CT-LINEARIZE",
+                    stmt,
+                    f"secret branch on {stmt.cond!r}: both sides will "
+                    "execute under a predicate "
+                    f"({len(stmt.then_body)} then / "
+                    f"{len(stmt.else_body)} else statement(s))",
+                )
+            self._walk(stmt.then_body, secret)
+            self._walk(stmt.else_body, secret)
+        elif isinstance(stmt, ir.For):
+            if self._tainted(stmt.count):
+                self._emit(
+                    "CT-TRIPCOUNT",
+                    stmt,
+                    f"loop over {stmt.var!r} has a SECRET trip count "
+                    f"({stmt.count!r}): a termination channel no "
+                    "linearization repairs (strict mode rejects this "
+                    "program outright)",
+                )
+            elif under_secret:
+                self._emit(
+                    "CT-TRIPCOUNT",
+                    stmt,
+                    f"loop over {stmt.var!r} executes under a secret "
+                    "branch: its trip count becomes secret-dependent",
+                )
+            self._walk(stmt.body, under_secret)
+
+    def _visit_binop(self, stmt: ir.BinOp) -> None:
+        cost = ir.OPS[stmt.op][1]
+        if cost >= VARLAT_COST_THRESHOLD and (
+            self._tainted(stmt.a) or self._tainted(stmt.b)
+        ):
+            operands = [
+                repr(x)
+                for x in (stmt.a, stmt.b)
+                if self._tainted(x)
+            ]
+            self._emit(
+                "CT-VARLAT",
+                stmt,
+                f"{stmt.op!r} (cost {cost}) on secret operand(s) "
+                f"{', '.join(operands)}: operand-dependent latency on "
+                "real hardware; the simulator's fixed cost model hides "
+                "this timing channel",
+            )
+
+    def _visit_access(self, stmt, under_secret: bool) -> None:
+        array = self.program.array(stmt.array)
+        index_secret = under_secret or self._tainted(stmt.index)
+        if index_secret:
+            self.mitigated_arrays.add(stmt.array)
+        interval = self.intervals.access_intervals.get(id(stmt))
+        if interval is None:
+            # Statically unreachable (e.g. a loop whose trip count is
+            # provably zero): nothing to bound, nothing to leak.
+            return
+        in_bounds = interval.within(0, array.size - 1)
+
+        if index_secret:
+            self.n_secret_accesses += 1
+            self._emit(
+                "CT-DFL",
+                stmt,
+                f"secret-indexed access to {stmt.array!r}: routed "
+                f"through its DS ({array.size} words); index bound "
+                f"{interval}",
+            )
+            self._check_ds_coverage(stmt, array, interval, in_bounds)
+        elif not in_bounds:
+            self._emit(
+                "CT-OOB",
+                stmt,
+                f"public index into {stmt.array!r} bounded by {interval} "
+                f"but the array has {array.size} words: possible runtime "
+                "out-of-bounds ProtocolError",
+            )
+
+        if (
+            isinstance(stmt, ir.Store)
+            and stmt.array in self.program.output_arrays
+            and not array.secret
+            and (
+                index_secret
+                or self._tainted(stmt.value)
+                or stmt.array in self.taint.tainted_arrays
+            )
+        ):
+            self._emit(
+                "CT-DECLASS",
+                stmt,
+                f"tainted data stored into public output array "
+                f"{stmt.array!r}: the program's declared result "
+                "declassifies secret-derived values",
+            )
+
+    def _check_ds_coverage(self, stmt, array, interval, in_bounds) -> None:
+        override = self.ds_map.get(array.name)
+        if override is not None:
+            ds, base = override
+            proof = prove_ds_covers(
+                self.program, stmt, ds, base, report=self.intervals
+            )
+            if not proof:
+                self._emit(
+                    "DS-COVERAGE",
+                    stmt,
+                    f"registered DS {ds.name or array.name!r} does not "
+                    f"provably cover this access: {proof.reason}"
+                    + (
+                        f"; missing lines "
+                        f"{[hex(a) for a in proof.missing_lines[:4]]}"
+                        if proof.missing_lines
+                        else ""
+                    ),
+                )
+            return
+        # Default registration (the executor): DS == the whole array,
+        # so coverage reduces to the index staying inside the array.
+        if not in_bounds:
+            self._emit(
+                "DS-COVERAGE",
+                stmt,
+                f"secret index bounded by {interval} can escape "
+                f"{stmt.array!r} ({array.size} words): the access can "
+                "reach lines outside the registered DS — the silent "
+                "leak data-flow linearization cannot repair",
+            )
+
+    def _check_dead_mitigations(self) -> None:
+        for decl in self.program.arrays:
+            if decl.name not in self.mitigated_arrays:
+                self._emit(
+                    "CT-DEADMIT",
+                    None,
+                    f"array {decl.name!r} ({decl.size} words) is "
+                    "registered as a DS but no secret-indexed or "
+                    "predicated access uses it: dead mitigation "
+                    "registration",
+                )
+
+    def _summarize(self) -> None:
+        self._emit(
+            "CT-SUMMARY",
+            None,
+            f"{self.n_secret_branches} secret branch(es) to linearize, "
+            f"{self.n_secret_accesses} secret-indexed access(es) via "
+            f"DS, {self.n_secret_selects} secret-condition select(s) "
+            "already branchless",
+        )
+
+
+def lint(
+    program: ir.Program,
+    taint: Optional[TaintReport] = None,
+    intervals: Optional[IntervalReport] = None,
+    ds_map: Optional[Dict[str, Tuple[DataflowLinearizationSet, int]]] = None,
+) -> List[Finding]:
+    """Run every rule over ``program`` and return sorted findings.
+
+    ``ds_map`` optionally overrides the DS assumed for an array:
+    ``{array_name: (ds, base)}`` — used when the caller registers a
+    custom (possibly under-covering) DS instead of the executor's
+    default whole-array registration.  Taint runs in non-strict mode:
+    secret trip counts become ``CT-TRIPCOUNT`` findings instead of the
+    strict-mode ``ProtocolError``.
+    """
+    if taint is None:
+        taint = analyze(program, strict=False)
+    if intervals is None:
+        intervals = analyze_intervals(program)
+    return _Linter(program, taint, intervals, ds_map).run()

@@ -15,6 +15,12 @@ Commands
 ``experiments [target ...]``
     Regenerate the paper's tables/figures (delegates to
     :mod:`repro.experiments.__main__`).
+``ctcheck [--all]``
+    Constant-time lint: check every built-in IR program
+    (:mod:`repro.analysis.ctlint`: taint, interval bounds, DS
+    coverage) and audit every workload's registered dataflow
+    linearization sets.  Exits 1 iff an error-severity finding
+    (``DS-COVERAGE``, ``CT-TRIPCOUNT``) is reported.
 """
 
 from __future__ import annotations
@@ -106,6 +112,53 @@ def _cmd_experiments(args) -> int:
     return experiments_main(argv)
 
 
+def _cmd_ctcheck(args) -> int:
+    import json
+
+    from repro.analysis.api import BUILTIN_PROGRAM_SPECS, run_ctcheck
+    from repro.analysis.ctlint import SEVERITY_ORDER
+
+    unknown = [
+        name for name in args.program or [] if name not in BUILTIN_PROGRAM_SPECS
+    ]
+    if unknown:
+        raise SystemExit(
+            f"unknown program(s) {unknown}; "
+            f"choices: {sorted(BUILTIN_PROGRAM_SPECS)}"
+        )
+    programs = args.program if args.program else None
+    workloads = args.workload if args.workload else None
+    # --program alone narrows the run to static program checks unless
+    # workloads were also requested explicitly (or --all forces both).
+    include_workloads = bool(
+        args.all or workloads or (not args.program and not args.no_workloads)
+    )
+    if args.no_workloads:
+        include_workloads = False
+    result = run_ctcheck(
+        programs=programs,
+        workloads=workloads,
+        include_workloads=include_workloads,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+        return result.exit_code
+    threshold = SEVERITY_ORDER.index(args.min_severity)
+    shown = [
+        f
+        for f in result.findings
+        if SEVERITY_ORDER.index(f.severity) >= threshold
+    ]
+    for finding in shown:
+        print(finding.format())
+    hidden = len(result.findings) - len(shown)
+    if hidden:
+        print(f"({hidden} finding(s) below --min-severity hidden)")
+    print(result.summary())
+    return result.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -174,6 +227,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the telemetry run log (JSONL, one record per attempt)",
     )
     experiments.set_defaults(fn=_cmd_experiments)
+
+    ctcheck = sub.add_parser(
+        "ctcheck",
+        help="constant-time lint: IR programs + workload DS audits",
+    )
+    ctcheck.add_argument(
+        "--all",
+        action="store_true",
+        help="check every built-in program and every workload "
+        "(the default when no --program/--workload is given)",
+    )
+    ctcheck.add_argument(
+        "--program",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="check only this built-in IR program (repeatable)",
+    )
+    ctcheck.add_argument(
+        "--workload",
+        action="append",
+        choices=sorted(WORKLOADS),
+        default=None,
+        help="audit only this workload's DS registrations (repeatable)",
+    )
+    ctcheck.add_argument(
+        "--no-workloads",
+        action="store_true",
+        help="skip the dynamic workload DS audits",
+    )
+    ctcheck.add_argument(
+        "--min-severity",
+        choices=["info", "warning", "error"],
+        default="info",
+        help="hide findings below this severity (text output only)",
+    )
+    ctcheck.add_argument("--seed", type=int, default=1)
+    ctcheck.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    ctcheck.set_defaults(fn=_cmd_ctcheck)
 
     return parser
 

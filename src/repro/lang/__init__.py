@@ -20,7 +20,13 @@ from repro.lang.programs import (
     lookup_program,
     swap_program,
 )
-from repro.lang.pretty import dump
+from repro.lang.pretty import (
+    dump,
+    path_index,
+    render_stmt,
+    statement_at,
+    statement_paths,
+)
 from repro.lang.taint import TaintReport, analyze
 
 __all__ = [
@@ -42,6 +48,10 @@ __all__ = [
     "dump",
     "histogram_program",
     "lookup_program",
+    "path_index",
+    "render_stmt",
     "run_program",
+    "statement_at",
+    "statement_paths",
     "swap_program",
 ]

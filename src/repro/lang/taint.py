@@ -23,7 +23,10 @@ Rules (to a fixpoint, so loop-carried taint converges):
 
 Results: sets of tainted registers and arrays, plus the *program
 points* needing mitigation: secret branches and secret-indexed
-accesses (with their DS arrays).
+accesses (with their DS arrays).  ``Select`` statements are further
+classified: a secret *condition* (the branchless constant-time idiom
+— safe by construction) is recorded separately from data taint
+through the value operands, so diagnostics can tell the two apart.
 """
 
 from __future__ import annotations
@@ -45,9 +48,24 @@ class TaintReport:
     secret_branches: Set[int] = field(default_factory=set)
     #: (array name) of every access with a secret index
     secret_indexed_arrays: Set[str] = field(default_factory=set)
+    #: ``Select`` statements (by identity) whose *condition* is secret.
+    #: These are branchless by construction — the constant-time idiom —
+    #: and need no transformation; diagnostics report them as benign.
+    secret_cond_selects: Set[int] = field(default_factory=set)
+    #: ``Select`` statements (by identity) tainted through their *data*
+    #: operands (``if_true``/``if_false``) or by executing under a
+    #: secret branch — ordinary data taint, distinct from the secret
+    #: condition case above.
+    data_tainted_selects: Set[int] = field(default_factory=set)
 
     def is_secret_branch(self, stmt: ir.If) -> bool:
         return id(stmt) in self.secret_branches
+
+    def is_secret_cond_select(self, stmt: ir.Select) -> bool:
+        return id(stmt) in self.secret_cond_selects
+
+    def is_data_tainted_select(self, stmt: ir.Select) -> bool:
+        return id(stmt) in self.data_tainted_selects
 
 
 class _Analyzer:
@@ -96,9 +114,15 @@ class _Analyzer:
             if under_secret or self._tainted(stmt.a) or self._tainted(stmt.b):
                 self._taint_reg(stmt.dst)
         elif isinstance(stmt, ir.Select):
-            if under_secret or any(
-                self._tainted(x) for x in (stmt.cond, stmt.if_true, stmt.if_false)
-            ):
+            cond_secret = self._tainted(stmt.cond)
+            data_secret = under_secret or self._tainted(
+                stmt.if_true
+            ) or self._tainted(stmt.if_false)
+            if cond_secret:
+                self.report.secret_cond_selects.add(id(stmt))
+            if data_secret:
+                self.report.data_tainted_selects.add(id(stmt))
+            if cond_secret or data_secret:
                 self._taint_reg(stmt.dst)
         elif isinstance(stmt, ir.Load):
             index_secret = under_secret or self._tainted(stmt.index)

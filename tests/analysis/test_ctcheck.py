@@ -1,0 +1,129 @@
+"""The ctcheck gate: every shipped target is clean, leaks exit 1."""
+
+import json
+
+import pytest
+
+from repro.analysis import api
+from repro.analysis.api import (
+    CTCheckResult,
+    audit_workload_ds,
+    builtin_programs,
+    check_program,
+    run_ctcheck,
+)
+from repro.cli import main
+from repro.lang.ir import ArrayDecl, Load, Program
+from repro.workloads import WORKLOADS
+
+pytestmark = pytest.mark.ctcheck
+
+
+def bad_program():
+    """A secret-indexed load with no bounding: DS-COVERAGE error."""
+    return Program(
+        name="bad",
+        secret_inputs=("key",),
+        arrays=(ArrayDecl("table", 64),),
+        body=(Load("out", "table", "key"),),
+        outputs=("out",),
+    )
+
+
+class TestShippedTargetsAreClean:
+    @pytest.mark.parametrize("name", sorted(api.BUILTIN_PROGRAM_SPECS))
+    def test_builtin_program_has_no_errors(self, name):
+        program = builtin_programs()[name]
+        errors = [
+            f for f in check_program(program) if f.severity == "error"
+        ]
+        assert not errors, [f.format() for f in errors]
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_workload_ds_audit_has_no_errors(self, name):
+        errors = [
+            f
+            for f in audit_workload_ds(name)
+            if f.severity == "error"
+        ]
+        assert not errors, [f.format() for f in errors]
+
+    def test_run_ctcheck_all_exits_zero(self):
+        result = run_ctcheck()
+        assert result.exit_code == 0
+        assert len(result.checked) == len(api.BUILTIN_PROGRAM_SPECS) + len(
+            WORKLOADS
+        )
+
+
+class TestResultAggregation:
+    def test_exit_code_tracks_errors(self):
+        result = CTCheckResult()
+        assert result.exit_code == 0
+        result.findings.extend(check_program(bad_program()))
+        assert result.errors
+        assert result.exit_code == 1
+
+    def test_summary_and_counts(self):
+        result = run_ctcheck(
+            programs=["lookup"], include_workloads=False
+        )
+        counts = result.counts()
+        assert set(counts) == {"error", "warning", "info"}
+        assert "checked 1 target(s)" in result.summary()
+
+    def test_as_dict_is_json_serializable(self):
+        result = run_ctcheck(
+            programs=["lookup"], include_workloads=False
+        )
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert payload["exit_code"] == 0
+        assert payload["checked"] == ["program:lookup"]
+
+
+class TestCLI:
+    def test_all_flag_exits_zero(self, capsys):
+        assert main(["ctcheck", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "worst severity" in out
+
+    def test_bad_program_exits_one_with_ds_coverage(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.setitem(
+            api.BUILTIN_PROGRAM_SPECS, "bad", bad_program
+        )
+        code = main(
+            ["ctcheck", "--program", "bad", "--no-workloads"]
+        )
+        assert code == 1
+        assert "DS-COVERAGE" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        code = main(
+            ["ctcheck", "--program", "lookup", "--no-workloads",
+             "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["checked"] == ["program:lookup"]
+        assert payload["exit_code"] == 0
+
+    def test_min_severity_filters_output(self, capsys):
+        main(
+            ["ctcheck", "--program", "lookup", "--no-workloads",
+             "--min-severity", "error"]
+        )
+        out = capsys.readouterr().out
+        assert "hidden" in out
+        assert "CT-DFL" not in out
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ctcheck", "--program", "nope"])
+
+    def test_single_workload_audit(self, capsys):
+        # --workload narrows the audit but the static program checks
+        # still run: 4 programs + 1 workload.
+        assert main(["ctcheck", "--workload", "binary_search"]) == 0
+        assert "checked 5 target(s)" in capsys.readouterr().out

@@ -1,7 +1,15 @@
 """IR pretty-printer (plain and taint-annotated)."""
 
+import pytest
+
 from repro.lang.ir import ArrayDecl, BinOp, Const, For, If, Load, Program, Select, Store
-from repro.lang.pretty import dump
+from repro.lang.pretty import (
+    dump,
+    path_index,
+    render_stmt,
+    statement_at,
+    statement_paths,
+)
 from repro.lang.programs import histogram_program, lookup_program
 from repro.lang.taint import analyze
 
@@ -39,6 +47,66 @@ class TestPlainDump:
     def test_empty_loop_body(self):
         program = Program(name="e", body=(For("i", 2, ()),))
         assert "pass" in dump(program)
+
+
+def shapes_program():
+    return Program(
+        name="shapes",
+        inputs=("p",),
+        arrays=(ArrayDecl("a", 4),),
+        body=(
+            If("p", then_body=(Const("x", 1),), else_body=(Const("x", 2),)),
+            For("i", 3, (Store("a", "i", 0),)),
+            Select("y", "p", 1, 2),
+        ),
+    )
+
+
+class TestStatementPaths:
+    def test_paths_are_preorder_and_stable(self):
+        program = shapes_program()
+        paths = [p for p, _ in statement_paths(program)]
+        assert paths == [
+            "body[0]",
+            "body[0].then[0]",
+            "body[0].else[0]",
+            "body[1]",
+            "body[1].body[0]",
+            "body[2]",
+        ]
+        # Stable across calls: paths are structural, not id-based.
+        assert paths == [p for p, _ in statement_paths(program)]
+
+    def test_path_index_maps_identity_to_path(self):
+        program = shapes_program()
+        index = path_index(program)
+        store = program.body[1].body[0]
+        assert index[id(store)] == "body[1].body[0]"
+
+    def test_statement_at_round_trips(self):
+        program = shapes_program()
+        for path, stmt in statement_paths(program):
+            assert statement_at(program, path) is stmt
+
+    def test_statement_at_unknown_path_raises(self):
+        with pytest.raises(KeyError):
+            statement_at(shapes_program(), "body[9]")
+
+    def test_render_stmt_single_line(self):
+        assert render_stmt(Const("x", 7)) == "x = 7"
+        program, _ = lookup_program(64)
+        report = analyze(program)
+        assert "!" in render_stmt(program.body[1], report)
+
+    def test_dump_with_paths_annotates_every_statement(self):
+        program = shapes_program()
+        text = dump(program, paths=True)
+        for path, _ in statement_paths(program):
+            assert f"@{path}" in text
+
+    def test_dump_without_paths_unchanged(self):
+        program = shapes_program()
+        assert "@body" not in dump(program)
 
 
 class TestAnnotatedDump:

@@ -138,6 +138,97 @@ class TestImplicitFlows:
         assert report.is_secret_branch(inner)
 
 
+class TestSelectRefinement:
+    """Secret-*condition* selects vs merely data-tainted selects."""
+
+    def test_secret_condition_classified(self):
+        stmt = Select("x", "k", 1, 2)
+        report = analyze(prog([stmt], secret_inputs=("k",)))
+        assert report.is_secret_cond_select(stmt)
+        assert not report.is_data_tainted_select(stmt)
+        assert "x" in report.tainted_regs
+
+    def test_data_taint_classified(self):
+        stmt = Select("x", "p", "k", 0)
+        report = analyze(
+            prog([Const("p", 1), stmt], secret_inputs=("k",))
+        )
+        assert not report.is_secret_cond_select(stmt)
+        assert report.is_data_tainted_select(stmt)
+        assert "x" in report.tainted_regs
+
+    def test_both_when_condition_and_data_secret(self):
+        stmt = Select("x", "k", "k", 0)
+        report = analyze(prog([stmt], secret_inputs=("k",)))
+        assert report.is_secret_cond_select(stmt)
+        assert report.is_data_tainted_select(stmt)
+
+    def test_fully_public_select_is_neither(self):
+        stmt = Select("x", "p", 1, 2)
+        report = analyze(
+            prog([Const("p", 1), stmt], secret_inputs=("k",))
+        )
+        assert not report.is_secret_cond_select(stmt)
+        assert not report.is_data_tainted_select(stmt)
+        assert "x" not in report.tainted_regs
+
+    def test_select_under_secret_branch_is_data_tainted(self):
+        stmt = Select("x", "p", 1, 2)
+        report = analyze(
+            prog(
+                [Const("p", 1), If("k", then_body=(stmt,))],
+                secret_inputs=("k",),
+            )
+        )
+        assert report.is_data_tainted_select(stmt)
+        assert not report.is_secret_cond_select(stmt)
+
+    def test_loop_carried_taint_flips_select_classification(self):
+        """The condition only becomes secret on a later fixpoint pass."""
+        stmt = Select("x", "c", 1, 2)
+        body = [
+            Const("c", 0),
+            For(
+                "i",
+                4,
+                (
+                    stmt,
+                    Load("y", "a", 0),
+                    BinOp("c", "add", "y", 0),
+                    Store("a", 0, "k"),
+                ),
+            ),
+        ]
+        report = analyze(
+            prog(body, secret_inputs=("k",), arrays=[ArrayDecl("a", 4)])
+        )
+        assert report.is_secret_cond_select(stmt)
+
+    def test_taint_through_select_reaches_store(self):
+        report = analyze(
+            prog(
+                [
+                    Select("x", "k", 1, 2),
+                    Store("a", 0, "x"),
+                ],
+                secret_inputs=("k",),
+                arrays=[ArrayDecl("a", 4)],
+            )
+        )
+        assert "a" in report.tainted_arrays
+
+    def test_nested_secret_if_taints_inner_select_condition(self):
+        stmt = Select("x", "c", 1, 2)
+        inner = If(1, then_body=(Const("c", 1),))
+        outer = If("k", then_body=(inner,))
+        report = analyze(
+            prog([outer, stmt], secret_inputs=("k",))
+        )
+        # c was written under a secret branch, so the later select has
+        # a secret condition.
+        assert report.is_secret_cond_select(stmt)
+
+
 class TestRejections:
     def test_secret_trip_count_rejected(self):
         with pytest.raises(ProtocolError):
