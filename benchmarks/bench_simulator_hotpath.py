@@ -21,6 +21,9 @@ import random
 import time
 from pathlib import Path
 
+import pytest
+
+from repro import bench as sweep_bench
 from repro import build_machine
 
 #: Pre-overhaul throughput on the reference runner (measured at the
@@ -91,6 +94,7 @@ def write_report(report: dict) -> None:
     _OUT.write_text(json.dumps(report, indent=2) + "\n")
 
 
+@pytest.mark.perf
 def test_hotpath_throughput(once):
     report = once(measure)
     write_report(report)
@@ -101,8 +105,34 @@ def test_hotpath_throughput(once):
     assert report["ctloads_per_sec"] > 100_000
 
 
+@pytest.mark.perf
+def test_ds_sweep_and_sanitizer_fork_throughput(once):
+    """Bulk-kernel + warm-start numbers (the ``BENCH_sweep.json`` file).
+
+    Delegates to :mod:`repro.bench` — same methodology as the hotpath
+    cases above (fixed op counts; throughputs best-of-N, wall times
+    min-of-N) over the software-CT DS sweep, the gather epilogue, and
+    the fork-based relational sanitizer.
+    """
+    report = once(sweep_bench.measure)
+    sweep_bench.write_report(report)
+    print("\n" + json.dumps(report, indent=2))
+    # sanity floors: the bulk kernels must stay well clear of the
+    # scalar seed baseline (292k sweep-lines/s, 0.55 s sanitizer).
+    assert report["ds_sweep_lines_per_sec"] > 400_000
+    assert report["ds_gather_lines_per_sec"] > 600_000
+    assert report["sanitizer_wall_seconds"] < 0.5
+    # forking a warmed template must not lose to rebuild-and-replay
+    assert (
+        report["sanitizer_wall_seconds"]
+        <= report["sanitizer_rebuild_wall_seconds"] * 1.5
+    )
+
+
 if __name__ == "__main__":
     report = measure()
     write_report(report)
     print(json.dumps(report, indent=2))
     print(f"wrote {_OUT}")
+    # the DS-sweep/sanitizer report is `python -m repro bench --write`
+    # (scripts/bench.sh runs both)

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# One entry point for the performance measurements:
+#   * the raw hot-path throughput (loads/s, CTLoads/s) -> BENCH_hotpath.json
+#   * the bulk DS-sweep kernels + fork-based sanitizer -> BENCH_sweep.json
+#
+# Both reports carry their seed baselines, so the speedup ratios stay
+# visible; the perf-marked pytest wrappers in benchmarks/ assert the
+# same floors in CI form (`pytest benchmarks/ -m perf --benchmark-only`).
+#
+# Usage: scripts/bench.sh [--repeats N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== hot-path throughput (BENCH_hotpath.json)"
+python benchmarks/bench_simulator_hotpath.py
+
+echo "== bulk DS-sweep kernels + warm-start sanitizer (BENCH_sweep.json)"
+python -m repro bench --write "$@"

@@ -185,20 +185,41 @@ def sanitize(
     secrets: Sequence[object] = (1, 2),
     levels: Sequence[str] = DEFAULT_LEVELS,
     check_cycles: bool = True,
+    warmup: Optional[Callable[[MitigationContext], object]] = None,
+    fork: bool = True,
 ) -> SanitizerReport:
-    """Run ``run_fn`` once per secret on fresh machines and diff.
+    """Run ``run_fn`` once per secret on identical machines and diff.
 
     ``context_factory`` must build a *fresh* machine + mitigation
     context per call (so runs are independent and start from identical
     state); ``run_fn(ctx, secret)`` performs the program.  All secrets
     are compared against the first one, pairwise divergences
     accumulate in the report.
+
+    ``warmup(ctx)`` optionally prepares the secret-independent prefix
+    every run shares (DS registration, cache warming).  With
+    ``fork=True`` (the default) the factory and warmup execute ONCE and
+    each secret runs on a :meth:`~repro.ct.context.MitigationContext.fork`
+    of that warmed template — identical start states by construction,
+    and the warm-up cost is paid once instead of once per secret.
+    ``fork=False`` restores the rebuild-and-replay behaviour (factory +
+    warmup per secret), useful when a context cannot be forked.
     """
     if len(secrets) < 2:
         raise ValueError("relational checking needs at least two secrets")
+    template: Optional[MitigationContext] = None
+    if fork:
+        template = context_factory()
+        if warmup is not None:
+            warmup(template)
     observations: List[SecretObservation] = []
     for secret in secrets:
-        ctx = context_factory()
+        if template is not None:
+            ctx = template.fork()
+        else:
+            ctx = context_factory()
+            if warmup is not None:
+                warmup(ctx)
         machine = ctx.machine
         recorder = ObservableTraceRecorder()
         for name in levels:
@@ -238,13 +259,16 @@ def sanitize_workload(
     levels: Sequence[str] = DEFAULT_LEVELS,
     check_cycles: bool = True,
     run_fn: Optional[Callable[[MitigationContext, object], object]] = None,
+    warmup: Optional[Callable[[MitigationContext], object]] = None,
+    fork: bool = True,
 ) -> SanitizerReport:
     """Relationally check one registered workload under one scheme.
 
     The secrets are workload seeds (each seed deterministically derives
     a different secret input).  ``run_fn`` may override the default
     ``WORKLOADS[workload].run(ctx, size, seed)`` invocation, e.g. to
-    pass workload-specific keyword arguments.
+    pass workload-specific keyword arguments.  ``warmup``/``fork`` are
+    forwarded to :func:`sanitize` (fork-based warm starts).
     """
     from repro.experiments.config import build_context
     from repro.workloads import WORKLOADS
@@ -258,6 +282,8 @@ def sanitize_workload(
         secrets=secrets,
         levels=levels,
         check_cycles=check_cycles,
+        warmup=warmup,
+        fork=fork,
     )
 
 
@@ -269,6 +295,8 @@ def sanitize_program(
     secrets: Sequence[object] = (1, 2),
     levels: Sequence[str] = DEFAULT_LEVELS,
     check_cycles: bool = True,
+    warmup: Optional[Callable[[MitigationContext], object]] = None,
+    fork: bool = True,
 ) -> SanitizerReport:
     """Relationally check one IR program through the executor.
 
@@ -292,4 +320,6 @@ def sanitize_program(
         secrets=secrets,
         levels=levels,
         check_cycles=check_cycles,
+        warmup=warmup,
+        fork=fork,
     )

@@ -106,14 +106,35 @@ class CacheHierarchy:
         _is_prefetch: bool = False,
     ) -> AccessResult:
         """Demand-read ``line_addr``; fills every level from DRAM up."""
-        levels = self.levels
         # Fast path: hit at the start level (the overwhelmingly common
         # case for warm workloads) — no fill loop, no extra bookkeeping.
-        first = levels[start_level]
+        first = self.levels[start_level]
         line = first.access(line_addr, update_replacement, observable)
         if line is not None:
             return AccessResult(first.latency, first.name, False)
-        latency = first.latency
+        extra, hit_level, filled = self.read_miss_fill(
+            line_addr, start_level, update_replacement, observable, _is_prefetch
+        )
+        return AccessResult(first.latency + extra, hit_level, filled)
+
+    def read_miss_fill(
+        self,
+        line_addr: int,
+        start_level: int = 0,
+        update_replacement: bool = True,
+        observable: bool = True,
+        _is_prefetch: bool = False,
+    ):
+        """Continue a read whose start-level miss is already recorded.
+
+        This is the miss half of :meth:`read_line`, exposed so batched
+        callers (``read_lines`` and the machine's fused RMW kernel) can
+        probe the start level themselves and only fall into this walk
+        on a miss.  Returns ``(extra_latency, hit_level, filled)`` where
+        ``extra_latency`` excludes the start level's own latency.
+        """
+        levels = self.levels
+        latency = 0
         filled = False
         for i in range(start_level + 1, len(levels)):
             cache = levels[i]
@@ -123,13 +144,72 @@ class CacheHierarchy:
                 for j in range(i - 1, start_level - 1, -1):
                     latency += self._fill_level(j, line_addr, dirty=False)
                     filled = True
-                return AccessResult(latency, cache.name, filled)
+                return latency, cache.name, filled
         latency += self.dram.read_line(line_addr)
         for j in range(len(levels) - 1, start_level - 1, -1):
             latency += self._fill_level(j, line_addr, dirty=False)
         if self.prefetcher is not None and not _is_prefetch:
             self.prefetcher.on_demand_miss(line_addr, start_level)
-        return AccessResult(latency, None, True)
+        return latency, None, True
+
+    def read_lines(
+        self,
+        line_addrs,
+        start_level: int = 0,
+        update_replacement: bool = True,
+        observable: bool = True,
+        set_indices=None,
+    ):
+        """Batched :meth:`read_line`; returns per-line latencies.
+
+        Observationally identical to the scalar loop: hit runs are
+        processed inside the start level's ``access_lines`` (locals
+        bound once per run), and each miss falls back to the exact
+        scalar miss walk before the batch resumes.
+        """
+        first = self.levels[start_level]
+        n = len(line_addrs)
+        latencies = [first.latency] * n
+        access_lines = first.access_lines
+        i = access_lines(line_addrs, 0, update_replacement, observable, set_indices)
+        while i < n:
+            extra, _hit_level, _filled = self.read_miss_fill(
+                line_addrs[i], start_level, update_replacement, observable
+            )
+            latencies[i] += extra
+            i = access_lines(
+                line_addrs, i + 1, update_replacement, observable, set_indices
+            )
+        return latencies
+
+    def write_lines(
+        self,
+        line_addrs,
+        start_level: int = 0,
+        update_replacement: bool = True,
+        observable: bool = True,
+        set_indices=None,
+    ):
+        """Batched :meth:`write_line`; returns per-line latencies."""
+        first = self.levels[start_level]
+        n = len(line_addrs)
+        latencies = [first.latency] * n
+        access_lines = first.access_lines
+        set_dirty = first.set_dirty
+        i = access_lines(
+            line_addrs, 0, update_replacement, observable, set_indices, True
+        )
+        while i < n:
+            line_addr = line_addrs[i]
+            extra, _hit_level, _filled = self.read_miss_fill(
+                line_addr, start_level, update_replacement, observable
+            )
+            latencies[i] += extra
+            set_dirty(line_addr)
+            i = access_lines(
+                line_addrs, i + 1, update_replacement, observable, set_indices, True
+            )
+        return latencies
 
     def write_line(
         self,

@@ -45,17 +45,19 @@ class PartitionLockedCache(SetAssociativeCache):
 
     def lock(self, line_addr: int) -> bool:
         """Pin a resident line; returns False if not resident."""
-        cset = self._sets[self.set_index(line_addr)]
-        way = cset.by_addr.get(line_addr)
+        set_idx = self.set_index(line_addr)
+        cset = self._sets[set_idx]
+        way = cset.by_addr.get(line_addr) if cset is not None else None
         if way is None:
             return False
-        self._locked[self.set_index(line_addr)][way] = True
+        self._locked[set_idx][way] = True
         return True
 
     def unlock(self, line_addr: int) -> bool:
         """Unpin a line; returns False if not resident."""
         set_idx = self.set_index(line_addr)
-        way = self._sets[set_idx].by_addr.get(line_addr)
+        cset = self._sets[set_idx]
+        way = cset.by_addr.get(line_addr) if cset is not None else None
         if way is None:
             return False
         self._locked[set_idx][way] = False
@@ -73,13 +75,16 @@ class PartitionLockedCache(SetAssociativeCache):
 
     def is_locked(self, line_addr: int) -> bool:
         set_idx = self.set_index(line_addr)
-        way = self._sets[set_idx].by_addr.get(line_addr)
+        cset = self._sets[set_idx]
+        way = cset.by_addr.get(line_addr) if cset is not None else None
         return way is not None and self._locked[set_idx][way]
 
     def locked_lines(self) -> List[int]:
         """Addresses of all pinned lines (sorted)."""
         out = []
         for set_idx, cset in enumerate(self._sets):
+            if cset is None:
+                continue
             for addr, way in cset.by_addr.items():
                 if self._locked[set_idx][way]:
                     out.append(addr)
@@ -92,7 +97,7 @@ class PartitionLockedCache(SetAssociativeCache):
 
     def fill(self, line_addr: int, dirty: bool = False) -> Optional[CacheLine]:
         set_idx = self.set_index(line_addr)
-        cset = self._sets[set_idx]
+        cset = self._set_at(set_idx)
         existing_way = cset.by_addr.get(line_addr)
         if existing_way is not None:
             return super().fill(line_addr, dirty=dirty)
@@ -130,6 +135,18 @@ class PartitionLockedCache(SetAssociativeCache):
                 f"line {line_addr:#x} is locked; unlock before invalidating"
             )
         return super().invalidate(line_addr)
+
+    # -- state capture / restore ------------------------------------------------------
+
+    def _capture_extra(self):
+        return ([list(row) for row in self._locked], self.uncached_fills)
+
+    def _restore_extra(self, extra) -> None:
+        if extra is None:  # snapshot taken from a plain cache
+            return
+        locked, uncached = extra
+        self._locked = [list(row) for row in locked]
+        self.uncached_fills = uncached
 
     # -- pinning helpers -------------------------------------------------------------
 

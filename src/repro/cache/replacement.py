@@ -84,6 +84,26 @@ class ReplacementPolicy:
         """Default: the first allowed way (subclasses refine)."""
         return allowed[0]
 
+    # -- state cloning (machine fork/restore support) --------------------------
+
+    def clone(self) -> "ReplacementPolicy":
+        """Deep copy of the policy's ranking state.
+
+        Used by :meth:`repro.core.machine.Machine.save_state` /
+        ``fork``: a restored set must continue choosing *exactly* the
+        victims the original would have chosen, which for the random
+        policy includes the RNG stream position.
+        """
+        new = type(self).__new__(type(self))
+        new.num_ways = self.num_ways
+        new._occupied = list(self._occupied)
+        new._num_occupied = self._num_occupied
+        self._clone_rank_state(new)
+        return new
+
+    def _clone_rank_state(self, new: "ReplacementPolicy") -> None:
+        raise NotImplementedError
+
     # -- subclass API ----------------------------------------------------------
 
     def _rank_touch(self, way: int) -> None:
@@ -116,6 +136,10 @@ class LRUPolicy(ReplacementPolicy):
 
     def _rank_victim_among(self, allowed: Sequence[int]) -> int:
         return min(allowed, key=self._last_use.__getitem__)
+
+    def _clone_rank_state(self, new: "LRUPolicy") -> None:
+        new._stamp = self._stamp
+        new._last_use = list(self._last_use)
 
     def recency_order(self) -> List[int]:
         """Ways from most- to least-recently used (test/observer hook).
@@ -154,6 +178,10 @@ class FIFOPolicy(ReplacementPolicy):
     def _rank_victim_among(self, allowed: Sequence[int]) -> int:
         return min(allowed, key=self._fill_time.__getitem__)
 
+    def _clone_rank_state(self, new: "FIFOPolicy") -> None:
+        new._stamp = self._stamp
+        new._fill_time = list(self._fill_time)
+
 
 class RandomPolicy(ReplacementPolicy):
     """Uniformly random victim (seeded so simulations stay reproducible)."""
@@ -169,6 +197,10 @@ class RandomPolicy(ReplacementPolicy):
 
     def _rank_victim(self) -> int:
         return self._rng.randrange(self.num_ways)
+
+    def _clone_rank_state(self, new: "RandomPolicy") -> None:
+        new._rng = random.Random()
+        new._rng.setstate(self._rng.getstate())
 
 
 class TreePLRUPolicy(ReplacementPolicy):
@@ -216,6 +248,9 @@ class TreePLRUPolicy(ReplacementPolicy):
                 node = 2 * node + 2
                 lo = mid
         return lo
+
+    def _clone_rank_state(self, new: "TreePLRUPolicy") -> None:
+        new._bits = list(self._bits)
 
 
 _REGISTRY: Dict[str, Callable[[int], ReplacementPolicy]] = {

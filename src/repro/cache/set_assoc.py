@@ -63,6 +63,31 @@ class CacheStats:
         self.invalidations = 0
         self.set_accesses.clear()
 
+    def clone(self) -> "CacheStats":
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            fills=self.fills,
+            evictions=self.evictions,
+            dirty_evictions=self.dirty_evictions,
+            invalidations=self.invalidations,
+            set_accesses=dict(self.set_accesses),
+        )
+
+    def load_from(self, other: "CacheStats") -> None:
+        """Overwrite this object's counters in place (restore path).
+
+        In place so that long-lived references to ``cache.stats``
+        (snapshots, observers) keep seeing the restored values.
+        """
+        self.hits = other.hits
+        self.misses = other.misses
+        self.fills = other.fills
+        self.evictions = other.evictions
+        self.dirty_evictions = other.dirty_evictions
+        self.invalidations = other.invalidations
+        self.set_accesses = dict(other.set_accesses)
+
 
 class _CacheSet:
     """Ways + replacement state for one set."""
@@ -82,6 +107,27 @@ class _CacheSet:
             self.touch = policy._rank_touch
         else:  # pragma: no cover - no stock policy overrides on_access
             self.touch = policy.on_access
+
+
+class CacheState:
+    """Immutable-by-convention snapshot of one cache level's state.
+
+    Produced by :meth:`SetAssociativeCache.capture_state` and consumed
+    by :meth:`SetAssociativeCache.restore_state`.  Only *materialised*
+    sets are recorded, so the snapshot's size scales with the working
+    set, not the cache geometry.  Restoring the same snapshot twice is
+    supported: both capture and restore deep-copy the mutable pieces.
+    """
+
+    __slots__ = ("sets", "stats", "extra")
+
+    def __init__(self, sets, stats, extra=None) -> None:
+        #: list of (set_idx, ways, policy_clone); ways is a tuple of
+        #: ``None | (line_addr, dirty)`` per way
+        self.sets = sets
+        self.stats = stats
+        #: subclass payload (PLcache lock state, ...)
+        self.extra = extra
 
 
 class SetAssociativeCache:
@@ -142,12 +188,29 @@ class SetAssociativeCache:
         else:
             self._line_shift = -1
         self._set_mask = num_sets - 1
-        self._sets = [
-            _CacheSet(assoc, make_policy(replacement, assoc, seed=replacement_seed + i))
-            for i in range(num_sets)
-        ]
+        # Sets materialise lazily on first touch.  A 16 MiB LLC has
+        # 16384 sets; building a policy object per set up front made
+        # Machine construction (and therefore fork/warm-start) pay for
+        # capacity the run never touches.  ``_set_at`` builds each set
+        # with the same per-set seed the eager constructor used, so
+        # randomized-replacement streams are unchanged.
+        self._sets: List[Optional[_CacheSet]] = [None] * num_sets
         self.events = EventBus(name)
         self.stats = CacheStats()
+
+    def _set_at(self, set_idx: int) -> _CacheSet:
+        """The set object for ``set_idx``, materialising it if needed."""
+        cset = self._sets[set_idx]
+        if cset is None:
+            cset = self._sets[set_idx] = _CacheSet(
+                self.assoc,
+                make_policy(
+                    self.replacement,
+                    self.assoc,
+                    seed=self.replacement_seed + set_idx,
+                ),
+            )
+        return cset
 
     # -- geometry -------------------------------------------------------------
 
@@ -157,6 +220,11 @@ class SetAssociativeCache:
         if shift >= 0:
             return (line_addr >> shift) & self._set_mask
         return (line_addr // self.line_size) % self.num_sets
+
+    @property
+    def geometry_key(self) -> Tuple[int, int, int, int]:
+        """Hashable decomposition key for per-DS set-index caches."""
+        return (self._line_shift, self._set_mask, self.line_size, self.num_sets)
 
     def __contains__(self, line_addr: int) -> bool:
         return self.lookup(line_addr) is not None
@@ -171,6 +239,8 @@ class SetAssociativeCache:
         else:
             set_idx = (line_addr // self.line_size) % self.num_sets
         cset = self._sets[set_idx]
+        if cset is None:  # never-touched set: nothing resident
+            return None
         way = cset.by_addr.get(line_addr)
         return None if way is None else cset.ways[way]
 
@@ -204,6 +274,11 @@ class SetAssociativeCache:
         if observable:
             accesses = stats.set_accesses
             accesses[set_idx] = accesses.get(set_idx, 0) + 1
+        if cset is None:
+            # Never-touched set: a guaranteed miss, and no state to
+            # update yet — defer materialisation to the fill.
+            stats.misses += 1
+            return None
         way = cset.by_addr.get(line_addr)
         if way is None:
             stats.misses += 1
@@ -216,6 +291,161 @@ class SetAssociativeCache:
         if events.has_listeners:
             events.hit(line_addr, line.dirty, lru_updated=update_replacement)
         return line
+
+    def access_lines(
+        self,
+        line_addrs,
+        start: int = 0,
+        update_replacement: bool = True,
+        observable: bool = True,
+        set_indices=None,
+        mark_dirty: bool = False,
+    ) -> int:
+        """Batched :meth:`access` over ``line_addrs[start:]``.
+
+        Processes elements in order exactly as repeated ``access``
+        calls would, stopping at (and *recording*) the first miss:
+        returns the index of the missing element, or ``len(line_addrs)``
+        when every remaining element hits.  The caller (the hierarchy's
+        ``read_lines``/``write_lines``) handles the fill for the missing
+        element and resumes the batch after it.
+
+        ``set_indices`` optionally supplies precomputed set indices
+        aligned with ``line_addrs`` (per-DS decomposition caches).
+        ``mark_dirty`` applies the write path's dirty transition to each
+        hit, emitting the same hit-then-dirty event order as
+        ``access`` + ``set_dirty``.
+
+        Hot-path notes: all attribute lookups are hoisted out of the
+        loop, and the EventBus gate is read once per batch.  That is
+        observationally safe: with no listeners at batch start none can
+        appear mid-batch (the simulator is single-threaded and a gated-
+        off batch runs no callbacks that could subscribe); with
+        listeners present the emit helpers iterate the *live* listener
+        list per event, so a mid-batch unsubscribe from inside a
+        callback behaves exactly as in the scalar path.
+        """
+        sets = self._sets
+        shift = self._line_shift
+        smask = self._set_mask
+        stats = self.stats
+        set_accesses = stats.set_accesses if observable else None
+        events = self.events
+        emit = events.has_listeners
+        hits = 0
+        i = start
+        n = len(line_addrs)
+        while i < n:
+            line_addr = line_addrs[i]
+            if set_indices is not None:
+                set_idx = set_indices[i]
+            elif shift >= 0:
+                set_idx = (line_addr >> shift) & smask
+            else:
+                set_idx = (line_addr // self.line_size) % self.num_sets
+            if set_accesses is not None:
+                set_accesses[set_idx] = set_accesses.get(set_idx, 0) + 1
+            cset = sets[set_idx]
+            way = cset.by_addr.get(line_addr) if cset is not None else None
+            if way is None:
+                stats.misses += 1
+                stats.hits += hits
+                return i
+            line = cset.ways[way]
+            hits += 1
+            if update_replacement:
+                cset.touch(way)
+            if emit:
+                events.hit(line_addr, line.dirty, lru_updated=update_replacement)
+            if mark_dirty and not line.dirty:
+                line.dirty = True
+                if emit:
+                    events.dirty(line_addr)
+            i += 1
+        stats.hits += hits
+        return n
+
+    def rmw_lines(
+        self,
+        line_addrs,
+        start: int = 0,
+        update_replacement: bool = True,
+        observable: bool = True,
+        set_indices=None,
+    ) -> int:
+        """Batched load+store :meth:`access` pairs over ``line_addrs[start:]``.
+
+        Per element: one read access then one write access to the same
+        line, with the write's dirty transition — the inner pair of a
+        read-modify-write sweep.  Processes elements in order exactly as
+        paired ``access`` calls would, stopping at (and *recording*) the
+        first load-phase miss: returns its index, or ``len(line_addrs)``
+        when every remaining pair hits.  A store access immediately
+        after its own load hit cannot miss (a touch evicts nothing), so
+        the load phase is the only exit point; the caller fills the
+        missing element (both phases, where a fill can be refused) and
+        resumes after it.
+
+        Shares :meth:`access_lines`'s batch-gated event emission and
+        its safety argument, and skips the second tag lookup per pair —
+        the load hit already pinned down the way.
+        """
+        sets = self._sets
+        shift = self._line_shift
+        smask = self._set_mask
+        stats = self.stats
+        set_accesses = stats.set_accesses if observable else None
+        events = self.events
+        emit = events.has_listeners
+        hits = 0
+        i = start
+        n = len(line_addrs)
+        while i < n:
+            line_addr = line_addrs[i]
+            if set_indices is not None:
+                set_idx = set_indices[i]
+            elif shift >= 0:
+                set_idx = (line_addr >> shift) & smask
+            else:
+                set_idx = (line_addr // self.line_size) % self.num_sets
+            if set_accesses is not None:
+                count = set_accesses.get(set_idx, 0)
+            cset = sets[set_idx]
+            way = cset.by_addr.get(line_addr) if cset is not None else None
+            if way is None:
+                if set_accesses is not None:
+                    set_accesses[set_idx] = count + 1
+                stats.misses += 1
+                stats.hits += hits
+                return i
+            line = cset.ways[way]
+            hits += 2
+            if emit:
+                # Stepwise counter updates: a listener callback may read
+                # the per-set profile between the pair's two accesses.
+                if set_accesses is not None:
+                    set_accesses[set_idx] = count + 1
+                if update_replacement:
+                    cset.touch(way)
+                events.hit(line_addr, line.dirty, lru_updated=update_replacement)
+                if set_accesses is not None:
+                    set_accesses[set_idx] = count + 2
+                if update_replacement:
+                    cset.touch(way)
+                events.hit(line_addr, line.dirty, lru_updated=update_replacement)
+            else:
+                if set_accesses is not None:
+                    set_accesses[set_idx] = count + 2
+                if update_replacement:
+                    cset.touch(way)
+                    cset.touch(way)
+            if not line.dirty:
+                line.dirty = True
+                if emit:
+                    events.dirty(line_addr)
+            i += 1
+        stats.hits += hits
+        return n
 
     def fill(
         self, line_addr: int, dirty: bool = False
@@ -231,6 +461,8 @@ class SetAssociativeCache:
         else:
             set_idx = (line_addr // self.line_size) % self.num_sets
         cset = self._sets[set_idx]
+        if cset is None:
+            cset = self._set_at(set_idx)
         stats = self.stats
         events = self.events
         emit = events.has_listeners
@@ -285,6 +517,8 @@ class SetAssociativeCache:
     def invalidate(self, line_addr: int) -> Optional[CacheLine]:
         """Remove ``line_addr`` if resident; returns the removed line."""
         cset = self._sets[self.set_index(line_addr)]
+        if cset is None:
+            return None
         way = cset.by_addr.pop(line_addr, None)
         if way is None:
             return None
@@ -301,12 +535,15 @@ class SetAssociativeCache:
         """Addresses of all resident lines (sorted, for tests)."""
         out: List[int] = []
         for cset in self._sets:
-            out.extend(cset.by_addr)
+            if cset is not None:
+                out.extend(cset.by_addr)
         return sorted(out)
 
     def set_contents(self, set_idx: int) -> List[Tuple[int, bool]]:
         """(line_addr, dirty) pairs resident in one set."""
         cset = self._sets[set_idx]
+        if cset is None:
+            return []
         return [
             (line.line_addr, line.dirty)
             for line in cset.ways
@@ -318,9 +555,12 @@ class SetAssociativeCache:
 
         For LRU this is the most- to least-recently-used order of the
         resident line addresses; other policies expose fill order via
-        resident contents only.
+        resident contents only.  An unmaterialised set reports the
+        empty order, identical to a materialised-but-empty one.
         """
         cset = self._sets[set_idx]
+        if cset is None:
+            return tuple()
         policy = cset.policy
         if hasattr(policy, "recency_order"):
             order = policy.recency_order()
@@ -328,3 +568,49 @@ class SetAssociativeCache:
                 cset.ways[w].line_addr for w in order if cset.ways[w] is not None
             )
         return tuple(sorted(cset.by_addr))
+
+    # -- state capture / restore (machine fork support) --------------------------
+
+    def capture_state(self) -> CacheState:
+        """Snapshot resident lines, replacement state and counters.
+
+        Only materialised sets are captured; everything mutable is
+        deep-copied, so the snapshot is immune to later cache activity
+        and can be restored any number of times.  EventBus subscriptions
+        are deliberately NOT part of the snapshot — restoring simulated
+        state must not detach observers (or the BIA) from a live bus.
+        """
+        sets = []
+        for set_idx, cset in enumerate(self._sets):
+            if cset is None:
+                continue
+            ways = tuple(
+                None if line is None else (line.line_addr, line.dirty)
+                for line in cset.ways
+            )
+            sets.append((set_idx, ways, cset.policy.clone()))
+        return CacheState(sets, self.stats.clone(), self._capture_extra())
+
+    def restore_state(self, state: CacheState) -> None:
+        """Install a snapshot taken by :meth:`capture_state`."""
+        sets: List[Optional[_CacheSet]] = [None] * self.num_sets
+        assoc = self.assoc
+        for set_idx, ways, policy in state.sets:
+            cset = _CacheSet(assoc, policy.clone())
+            cset_ways = cset.ways
+            by_addr = cset.by_addr
+            for way, rec in enumerate(ways):
+                if rec is not None:
+                    cset_ways[way] = CacheLine(rec[0], rec[1])
+                    by_addr[rec[0]] = way
+            sets[set_idx] = cset
+        self._sets = sets
+        self.stats.load_from(state.stats)
+        self._restore_extra(state.extra)
+
+    def _capture_extra(self):
+        """Subclass hook: extra state to include in a snapshot."""
+        return None
+
+    def _restore_extra(self, extra) -> None:
+        """Subclass hook: install the payload from :meth:`_capture_extra`."""

@@ -159,6 +159,31 @@ def _cmd_ctcheck(args) -> int:
     return result.exit_code
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro import bench
+
+    if args.repeats < 1:
+        raise SystemExit("bench: --repeats must be >= 1")
+    report = bench.measure(repeats=args.repeats)
+    if args.write:
+        bench.write_report(report)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"DS sweep:    {report['ds_sweep_lines_per_sec']:>9} lines/s  "
+              f"({report['speedup_ds_sweep']}x vs seed)")
+        print(f"DS gather:   {report['ds_gather_lines_per_sec']:>9} lines/s  "
+              f"({report['speedup_ds_gather']}x vs seed)")
+        print(f"sanitizer:   {report['sanitizer_wall_seconds']:>9} s (fork), "
+              f"{report['sanitizer_rebuild_wall_seconds']} s (rebuild), "
+              f"{report['speedup_sanitizer']}x vs seed")
+        if args.write:
+            print(f"wrote {bench.BENCH_SWEEP_PATH}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -268,6 +293,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     ctcheck.set_defaults(fn=_cmd_ctcheck)
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure bulk-kernel + warm-start throughput (BENCH_sweep)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of-N for throughputs, min-of-N for wall times",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    bench.add_argument(
+        "--write",
+        action="store_true",
+        help="also rewrite BENCH_sweep.json at the repo root",
+    )
+    bench.set_defaults(fn=_cmd_bench)
 
     return parser
 

@@ -82,6 +82,22 @@ class BIAStats:
         self.evictions = 0
         self.monitor_updates = 0
 
+    def clone(self) -> "BIAStats":
+        return BIAStats(
+            lookups=self.lookups,
+            hits=self.hits,
+            allocations=self.allocations,
+            evictions=self.evictions,
+            monitor_updates=self.monitor_updates,
+        )
+
+    def load_from(self, other: "BIAStats") -> None:
+        self.lookups = other.lookups
+        self.hits = other.hits
+        self.allocations = other.allocations
+        self.evictions = other.evictions
+        self.monitor_updates = other.monitor_updates
+
 
 class _BIASet:
     __slots__ = ("ways", "policy", "by_page", "touch")
@@ -145,6 +161,8 @@ class BIA(CacheListener):
         self._sets = [_BIASet(assoc) for _ in range(num_sets)]
         self.stats = BIAStats()
         self._monitored: Optional[str] = None
+        self._monitored_bus = None
+        self._subscribed = False
         #: number of live table entries.  Monitor updates only ever
         #: touch already-allocated entries, so while the table is empty
         #: (every run that never issues a CT op) each monitor callback
@@ -158,9 +176,32 @@ class BIA(CacheListener):
     # -- attachment ------------------------------------------------------------
 
     def attach(self, cache: SetAssociativeCache) -> None:
-        """Subscribe to ``cache``'s events; the BIA now mirrors it."""
-        cache.events.subscribe(self)
+        """Monitor ``cache``: the BIA mirrors its residency/dirtiness.
+
+        The event-bus subscription is *lazy*: while the table is empty
+        every monitor callback would return immediately, so the BIA
+        stays off the bus entirely — keeping the cache's
+        ``has_listeners`` hot-path gate effective for runs that never
+        issue a CT op (the insecure and software-CT schemes) — and
+        subscribes on the first entry allocation.  Observationally
+        identical: events delivered to an empty table are ignored.
+        """
         self._monitored = cache.name
+        self._monitored_bus = cache.events
+        self._sync_subscription()
+
+    def _sync_subscription(self) -> None:
+        """Keep the bus subscription in step with table liveness."""
+        bus = self._monitored_bus
+        if bus is None:
+            return
+        want = self._live_entries > 0
+        if want and not self._subscribed:
+            bus.subscribe(self)
+            self._subscribed = True
+        elif not want and self._subscribed:
+            bus.unsubscribe(self)
+            self._subscribed = False
 
     @property
     def monitored_cache(self) -> Optional[str]:
@@ -199,6 +240,8 @@ class BIA(CacheListener):
         bset.policy.on_fill(victim_way)
         self.stats.allocations += 1
         self._live_entries += 1
+        if not self._subscribed:
+            self._sync_subscription()
         return entry
 
     # -- cache monitor (CacheListener) ------------------------------------------
@@ -287,6 +330,47 @@ class BIA(CacheListener):
             return
         self.stats.monitor_updates += 1
         entry.clear_dirty(bit)
+
+    # -- state capture / restore (machine fork support) ------------------------------
+
+    def capture_state(self):
+        """Snapshot the bitmap table, LRU state and counters."""
+        sets = []
+        for set_idx, bset in enumerate(self._sets):
+            if not bset.by_page:
+                continue
+            ways = tuple(
+                None
+                if entry is None
+                else (entry.page_idx, entry.existence, entry.dirtiness)
+                for entry in bset.ways
+            )
+            sets.append((set_idx, ways, bset.policy.clone()))
+        return (sets, self.stats.clone(), self._live_entries)
+
+    def restore_state(self, state) -> None:
+        """Install a snapshot from :meth:`capture_state`.
+
+        Restoring never rewires *which* cache is monitored, but it does
+        re-sync the lazy bus subscription with the restored table
+        liveness (an empty restored table goes back off the bus).
+        """
+        sets_state, stats, live_entries = state
+        assoc = self.assoc
+        fresh = [_BIASet(assoc) for _ in range(self.num_sets)]
+        for set_idx, ways, policy in sets_state:
+            bset = fresh[set_idx]
+            p = policy.clone()
+            bset.policy = p
+            bset.touch = p._rank_touch
+            for way, rec in enumerate(ways):
+                if rec is not None:
+                    bset.ways[way] = BIAEntry(rec[0], rec[1], rec[2])
+                    bset.by_page[rec[0]] = way
+        self._sets = fresh
+        self.stats.load_from(stats)
+        self._live_entries = live_entries
+        self._sync_subscription()
 
     # -- verification ---------------------------------------------------------------
 

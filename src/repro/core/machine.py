@@ -321,6 +321,390 @@ class Machine:
         stats.l1i_refs += 1
         stats.cycles += result.latency
 
+    # -- victim: bulk-access kernels -----------------------------------------------------
+    #
+    # The batched kernels below are *observationally identical* to the
+    # equivalent scalar loops (same counters, same event order, same
+    # final cache state, bit-identical cycles) — enforced by
+    # tests/core/test_bulk_equiv.py.  They exist because the per-line
+    # Python round-trip (execute + load_word per DS line) dominated
+    # every sweep-heavy figure; hoisting attribute lookups and folding
+    # the per-element counter updates into one batch update recovers
+    # most of that overhead.  Machines with a sliced LLC fall back to
+    # the scalar loop: slice-traffic recording depends on each access's
+    # individual hit level.
+
+    def load_words(
+        self,
+        addrs,
+        size: int = params.WORD_SIZE,
+        secret_dependent: bool = False,
+        start_level: int = 0,
+        pre_insts: int = 0,
+        lines=None,
+        set_indices=None,
+        collect_values: bool = True,
+    ):
+        """Batched ``execute(pre_insts); load_word(addr)`` pairs.
+
+        Returns the loaded values, in order — or ``None`` with
+        ``collect_values=False``, which skips the backing-store reads
+        for callers that only need the simulated accesses (the loaded
+        words of a CT sweep are discarded for all but one element).
+        ``lines`` optionally supplies the precomputed line base
+        addresses aligned with ``addrs``; ``set_indices`` the
+        start-level set indices (per-DS decomposition caches — see
+        ``DataflowLinearizationSet``).
+        """
+        n = len(addrs)
+        if n == 0:
+            return [] if collect_values else None
+        if self.slice_hash is not None:
+            execute = self.execute
+            load = self.load_word
+            out = []
+            for a in addrs:
+                if pre_insts:
+                    execute(pre_insts)
+                out.append(load(a, size, secret_dependent, start_level))
+            return out if collect_values else None
+        if lines is None:
+            mask = _LINE_BASE_MASK
+            lines = [a & mask for a in addrs]
+        latencies = self.hierarchy.read_lines(
+            lines, start_level, not secret_dependent, set_indices=set_indices
+        )
+        stats = self.stats
+        per = pre_insts + 1
+        stats.loads += n
+        stats.l1d_refs += n
+        stats.insts += n * per
+        stats.l1i_refs += n * per
+        # Cycles replicate the scalar interleaving order exactly
+        # (pre-work then latency, per element): float addition is not
+        # associative, so folding into one sum could diverge from the
+        # scalar path under fractional CPI cost models.
+        pre_cycles = pre_insts * self.costs.cpi
+        cycles = stats.cycles
+        if pre_cycles:
+            for lat in latencies:
+                cycles += pre_cycles
+                cycles += lat
+        else:
+            for lat in latencies:
+                cycles += lat
+        stats.cycles = cycles
+        if not collect_values:
+            return None
+        read = self.memory.read_word
+        return [read(a, size) for a in addrs]
+
+    def store_words(
+        self,
+        addrs,
+        values,
+        size: int = params.WORD_SIZE,
+        secret_dependent: bool = False,
+        start_level: int = 0,
+        pre_insts: int = 0,
+    ) -> None:
+        """Batched ``execute(pre_insts); store_word(addr, value)`` pairs.
+
+        Falls back to the scalar loop under ``silent_stores`` (the
+        squash decision needs a per-element memory comparison) and on
+        sliced-LLC machines.
+        """
+        n = len(addrs)
+        if n == 0:
+            return
+        if self.slice_hash is not None or self.config.silent_stores:
+            execute = self.execute
+            store = self.store_word
+            for a, v in zip(addrs, values):
+                if pre_insts:
+                    execute(pre_insts)
+                store(a, v, size, secret_dependent, start_level)
+            return
+        mask = _LINE_BASE_MASK
+        lines = [a & mask for a in addrs]
+        latencies = self.hierarchy.write_lines(
+            lines, start_level, not secret_dependent
+        )
+        write = self.memory.write_word
+        for a, v in zip(addrs, values):
+            write(a, v, size)
+        stats = self.stats
+        per = pre_insts + 1
+        stats.stores += n
+        stats.l1d_refs += n
+        stats.insts += n * per
+        stats.l1i_refs += n * per
+        pre_cycles = pre_insts * self.costs.cpi
+        cycles = stats.cycles
+        if pre_cycles:
+            for lat in latencies:
+                cycles += pre_cycles
+                cycles += lat
+        else:
+            for lat in latencies:
+                cycles += lat
+        stats.cycles = cycles
+
+    def rmw_words(
+        self,
+        addrs,
+        target_idx: int = -1,
+        target_fn=None,
+        size: int = params.WORD_SIZE,
+        secret_dependent: bool = False,
+        start_level: int = 0,
+        pre_insts: int = 0,
+        lines=None,
+        set_indices=None,
+        collect_values: bool = True,
+    ):
+        """Batched read-modify-write triples.
+
+        Per element: ``execute(pre_insts); v = load_word(addr);
+        store_word(addr, new)`` where ``new`` is ``target_fn(v)`` at
+        position ``target_idx`` and the written-back ``v`` elsewhere —
+        the shape of both the software-CT store/RMW sweep and
+        Algorithm 3's fetch pass.  Returns the loaded values; with
+        ``collect_values=False`` only ``values[target_idx]`` is read
+        (the rest are ``None``) and the value-identical write-backs of
+        non-target elements are elided from the backing store — the
+        simulated accesses are still performed and charged, and the
+        memory image is unchanged since each elision writes back the
+        word just read.
+
+        The pairs stay fused (load and store of element i before the
+        load of element i+1) because the store's events must interleave
+        with the loads' exactly as in the scalar path; the all-hit runs
+        go through the cache's fused pair kernel
+        (:meth:`~repro.cache.set_assoc.SetAssociativeCache.rmw_lines`).
+        """
+        n = len(addrs)
+        if n == 0:
+            return []
+        if self.slice_hash is not None:
+            execute = self.execute
+            load = self.load_word
+            store = self.store_word
+            out = []
+            for i in range(n):
+                a = addrs[i]
+                if pre_insts:
+                    execute(pre_insts)
+                v = load(a, size, secret_dependent, start_level)
+                out.append(v)
+                new = target_fn(v) if i == target_idx else v
+                store(a, new, size, secret_dependent, start_level)
+            return out
+        if lines is None:
+            mask = _LINE_BASE_MASK
+            lines = [a & mask for a in addrs]
+        hier = self.hierarchy
+        first = hier.levels[start_level]
+        first_access = first.access
+        first_set_dirty = first.set_dirty
+        first_events = first.events
+        miss_fill = hier.read_miss_fill
+        first_lat = first.latency
+        update = not secret_dependent
+        read = self.memory.read_word
+        write = self.memory.write_word
+        stats = self.stats
+        pre_cycles = pre_insts * self.costs.cpi
+        cycles = stats.cycles
+        if self.config.silent_stores:
+            # Per-element loop: the squash decision needs a memory
+            # comparison per store, so nothing can be elided.
+            wrap = (1 << (8 * size)) - 1
+            out = []
+            append = out.append
+            for i in range(n):
+                a = addrs[i]
+                line = lines[i]
+                if pre_cycles:
+                    cycles += pre_cycles
+                # Load phase (scalar load_word without per-call stats).
+                hit = first_access(line, update, True)
+                if hit is not None:
+                    cycles += first_lat
+                else:
+                    extra, _hit_level, _filled = miss_fill(
+                        line, start_level, update, True
+                    )
+                    cycles += first_lat + extra
+                value = read(a, size)
+                append(value if collect_values or i == target_idx else None)
+                new = target_fn(value) if i == target_idx else value
+                if read(a, size) == new & wrap:
+                    # Squashed silent store: read path, no dirty bit.
+                    hit = first_access(line, update, True)
+                    if hit is not None:
+                        cycles += first_lat
+                    else:
+                        extra, _hit_level, _filled = miss_fill(
+                            line, start_level, update, True
+                        )
+                        cycles += first_lat + extra
+                else:
+                    hit = first_access(line, update, True)
+                    if hit is not None:
+                        cycles += first_lat
+                        if not hit.dirty:
+                            hit.dirty = True
+                            if first_events.has_listeners:
+                                first_events.dirty(line)
+                    else:
+                        extra, _hit_level, _filled = miss_fill(
+                            line, start_level, update, True
+                        )
+                        cycles += first_lat + extra
+                        first_set_dirty(line)
+                    write(a, new, size)
+            stats.cycles = cycles
+            per = pre_insts + 2
+            stats.loads += n
+            stats.stores += n
+            stats.l1d_refs += 2 * n
+            stats.insts += n * per
+            stats.l1i_refs += n * per
+            return out
+        rmw_run = first.rmw_lines
+        out = [None] * n
+        i = 0
+        while i < n:
+            nxt = rmw_run(lines, i, update, True, set_indices)
+            # Completed all-hit pairs [i, nxt): charge cycles in the
+            # scalar float-addition order, then the memory traffic.
+            if pre_cycles:
+                for j in range(i, nxt):
+                    cycles += pre_cycles
+                    cycles += first_lat
+                    cycles += first_lat
+            else:
+                for _ in range(i, nxt):
+                    cycles += first_lat
+                    cycles += first_lat
+            if collect_values:
+                for j in range(i, nxt):
+                    v = read(addrs[j], size)
+                    out[j] = v
+                    if j == target_idx:
+                        write(addrs[j], target_fn(v), size)
+            elif i <= target_idx < nxt:
+                a = addrs[target_idx]
+                v = read(a, size)
+                out[target_idx] = v
+                write(a, target_fn(v), size)
+            if nxt == n:
+                break
+            # Element nxt's load access missed (already recorded by the
+            # kernel); fill and run its store phase fully generally —
+            # a PLcache can refuse the fill.
+            a = addrs[nxt]
+            line = lines[nxt]
+            if pre_cycles:
+                cycles += pre_cycles
+            extra, _hit_level, _filled = miss_fill(line, start_level, update, True)
+            cycles += first_lat + extra
+            if collect_values or nxt == target_idx:
+                v = read(a, size)
+                out[nxt] = v
+            new = target_fn(out[nxt]) if nxt == target_idx else out[nxt]
+            hit = first_access(line, update, True)
+            if hit is not None:
+                cycles += first_lat
+                if not hit.dirty:
+                    hit.dirty = True
+                    if first_events.has_listeners:
+                        first_events.dirty(line)
+            else:
+                extra, _hit_level, _filled = miss_fill(
+                    line, start_level, update, True
+                )
+                cycles += first_lat + extra
+                first_set_dirty(line)
+            if nxt == target_idx or collect_values:
+                write(a, new, size)
+            i = nxt + 1
+        stats.cycles = cycles
+        per = pre_insts + 2
+        stats.loads += n
+        stats.stores += n
+        stats.l1d_refs += 2 * n
+        stats.insts += n * per
+        stats.l1i_refs += n * per
+        return out
+
+    def sweep_load_lines(
+        self,
+        ds,
+        offset: int = 0,
+        pre_insts: int = 0,
+        secret_dependent: bool = False,
+        start_level: int = 0,
+        collect_values: bool = True,
+    ):
+        """Full-DS sweep load: one word per DS line at ``offset``.
+
+        ``offset`` must be an intra-line offset (< line size) so the
+        accessed words stay on the DS's own lines.  Returns the loaded
+        values aligned with ``ds.lines`` (``None`` with
+        ``collect_values=False``).
+        """
+        lines = ds.lines
+        set_indices = None
+        if self.slice_hash is None:
+            set_indices = ds.set_indices_for(self.hierarchy.levels[start_level])
+        addrs = [line + offset for line in lines] if offset else list(lines)
+        return self.load_words(
+            addrs,
+            secret_dependent=secret_dependent,
+            start_level=start_level,
+            pre_insts=pre_insts,
+            lines=lines,
+            set_indices=set_indices,
+            collect_values=collect_values,
+        )
+
+    def sweep_store_lines(
+        self,
+        ds,
+        offset: int = 0,
+        target_idx: int = -1,
+        target_fn=None,
+        pre_insts: int = 0,
+        secret_dependent: bool = False,
+        start_level: int = 0,
+        collect_values: bool = True,
+    ):
+        """Full-DS read-modify-write sweep at ``offset``.
+
+        Every DS line's word is read and written back; only position
+        ``target_idx`` receives ``target_fn(current)``.  Returns the
+        loaded values aligned with ``ds.lines`` (with
+        ``collect_values=False``, only ``values[target_idx]``).
+        """
+        lines = ds.lines
+        set_indices = None
+        if self.slice_hash is None:
+            set_indices = ds.set_indices_for(self.hierarchy.levels[start_level])
+        addrs = [line + offset for line in lines] if offset else list(lines)
+        return self.rmw_words(
+            addrs,
+            target_idx=target_idx,
+            target_fn=target_fn,
+            secret_dependent=secret_dependent,
+            start_level=start_level,
+            pre_insts=pre_insts,
+            lines=lines,
+            set_indices=set_indices,
+            collect_values=collect_values,
+        )
+
     def charge_memory(self, n_accesses: int, latency_each: float) -> None:
         """Account ``n_accesses`` data accesses without touching the caches.
 
@@ -466,6 +850,93 @@ class Machine:
         snap["llc_miss_total"] = self.llc.stats.misses
         snap["bia_lookups"] = self.bia.stats.lookups
         return snap
+
+    # -- state forking ---------------------------------------------------------------------
+
+    def save_state(self) -> "MachineState":
+        """Snapshot the complete simulated state of this machine.
+
+        The snapshot is structural (cache/BIA/DRAM metadata, counters)
+        plus copy-on-write backing memory: the machine's current pages
+        are frozen and shared with the snapshot, and whichever side
+        writes first copies the page.  Taking a snapshot is therefore
+        cheap even for large warmed footprints, and a snapshot can be
+        restored onto any machine of the same configuration any number
+        of times.
+        """
+        state = MachineState()
+        state.config = self.config
+        state.caches = [c.capture_state() for c in self.hierarchy.levels]
+        state.bia = self.bia.capture_state()
+        state.dram = self.dram.capture_state()
+        state.pages = self.memory.share_pages()
+        state.alloc_next = self.allocator._next
+        state.stats = self.stats.clone()
+        state.slice_trace = list(self.slice_trace)
+        state.user_mode = self.user_mode
+        state.microcode_depth = self._microcode_depth
+        prefetcher = self.hierarchy.prefetcher
+        state.prefetcher_issued = 0 if prefetcher is None else prefetcher.issued
+        return state
+
+    def restore_state(self, state: "MachineState") -> None:
+        """Install a :meth:`save_state` snapshot on this machine.
+
+        Only *simulated* state is restored; who observes this machine
+        (EventBus subscriptions, the BIA attachment, back-invalidator
+        wiring) is construction-time plumbing and is left untouched.
+        """
+        if state.config != self.config:
+            raise ConfigurationError(
+                "machine state snapshot was taken under a different "
+                "configuration; fork() or build an identical machine"
+            )
+        for cache, cache_state in zip(self.hierarchy.levels, state.caches):
+            cache.restore_state(cache_state)
+        self.bia.restore_state(state.bia)
+        self.dram.restore_state(state.dram)
+        self.memory.adopt_pages(state.pages)
+        self.allocator._next = state.alloc_next
+        self.stats.load_from(state.stats)
+        self.slice_trace[:] = state.slice_trace
+        self.user_mode = state.user_mode
+        self._microcode_depth = state.microcode_depth
+        prefetcher = self.hierarchy.prefetcher
+        if prefetcher is not None:
+            prefetcher.issued = state.prefetcher_issued
+
+    def fork(self) -> "Machine":
+        """A new, independent machine continuing from this exact state.
+
+        The warm-start primitive: build (and warm) one machine, then
+        fork per run instead of rebuild + replay.  The clone shares
+        backing-memory pages copy-on-write with the parent; caches,
+        BIA, DRAM and counters are copied.  External listeners attached
+        to the parent's event buses are NOT carried over — the clone
+        has only its own construction-time wiring, so each fork can be
+        instrumented independently.
+        """
+        clone = Machine(self.config)
+        clone.restore_state(self.save_state())
+        return clone
+
+
+class MachineState:
+    """Opaque snapshot produced by :meth:`Machine.save_state`."""
+
+    __slots__ = (
+        "config",
+        "caches",
+        "bia",
+        "dram",
+        "pages",
+        "alloc_next",
+        "stats",
+        "slice_trace",
+        "user_mode",
+        "microcode_depth",
+        "prefetcher_issued",
+    )
 
 
 def build_machine(

@@ -49,6 +49,29 @@ class MachineStats:
         self.ct_stores = 0
         self.cycles = 0.0
 
+    def clone(self) -> "MachineStats":
+        return MachineStats(
+            insts=self.insts,
+            l1i_refs=self.l1i_refs,
+            l1d_refs=self.l1d_refs,
+            loads=self.loads,
+            stores=self.stores,
+            ct_loads=self.ct_loads,
+            ct_stores=self.ct_stores,
+            cycles=self.cycles,
+        )
+
+    def load_from(self, other: "MachineStats") -> None:
+        """Overwrite counters in place (machine restore path)."""
+        self.insts = other.insts
+        self.l1i_refs = other.l1i_refs
+        self.l1d_refs = other.l1d_refs
+        self.loads = other.loads
+        self.stores = other.stores
+        self.ct_loads = other.ct_loads
+        self.ct_stores = other.ct_stores
+        self.cycles = other.cycles
+
     def as_dict(self) -> dict:
         return {
             "insts": self.insts,

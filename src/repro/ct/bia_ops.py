@@ -214,23 +214,51 @@ class BIAContext(MitigationContext):
         start = machine.ds_start_level
         fetch_insts = machine.costs.bia_fetch_elem_insts
         out: Dict[int, int] = {}
-        for address in fetchset:
-            machine.execute(fetch_insts)
-            if use_dram:
+        if use_dram:
+            # DRAM-bypass fetches (Sec. 6.5) stay scalar: the uncached
+            # path touches no cache state there is a bulk kernel for.
+            for address in fetchset:
+                machine.execute(fetch_insts)
                 tmpdata = machine.load_word_uncached(address)
-            else:
-                tmpdata = machine.load_word(address, start_level=start)
-            if capture is not None and address in capture:
-                out[address] = tmpdata
-            if capture_lines is not None:
+                if capture is not None and address in capture:
+                    out[address] = tmpdata
+                if capture_lines is not None:
+                    line = addr_math.line_base(address)
+                    if line in capture_lines:
+                        out[line] = tmpdata
+                if store_value is not None:
+                    if store_addr == address:  # Alg. 3 line 14
+                        tmpdata = store_value
+                    machine.store_word_uncached(address, tmpdata)
+            return out
+        if store_value is None:
+            words = machine.load_words(
+                fetchset, start_level=start, pre_insts=fetch_insts
+            )
+        else:
+            # Alg. 3 lines 12-15 as one fused RMW batch; only the true
+            # target address (line 14) receives the new value, every
+            # other fetched word is written back unchanged.
+            try:
+                target_i = fetchset.index(store_addr)
+            except ValueError:
+                target_i = -1
+            words = machine.rmw_words(
+                fetchset,
+                target_idx=target_i,
+                target_fn=lambda current: store_value,
+                start_level=start,
+                pre_insts=fetch_insts,
+            )
+        # Captures see the *fetched* word (pre-override), exactly as the
+        # scalar loop captured tmpdata before the line-14 compare.
+        if capture is not None:
+            for address, tmpdata in zip(fetchset, words):
+                if address in capture:
+                    out[address] = tmpdata
+        if capture_lines is not None:
+            for address, tmpdata in zip(fetchset, words):
                 line = addr_math.line_base(address)
                 if line in capture_lines:
                     out[line] = tmpdata
-            if store_value is not None:
-                if address == store_addr:  # Alg. 3 line 14: compare st_addr
-                    tmpdata = store_value
-                if use_dram:
-                    machine.store_word_uncached(address, tmpdata)
-                else:
-                    machine.store_word(address, tmpdata, start_level=start)
         return out

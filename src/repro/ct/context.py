@@ -22,6 +22,7 @@ source.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Sequence
 
 from repro import params
@@ -56,6 +57,25 @@ class MitigationContext:
             return self._ds_registry[name]
         except KeyError:
             raise ProtocolError(f"no DS registered under {name!r}") from None
+
+    # -- warm-start forking -------------------------------------------------------
+
+    def fork(self) -> "MitigationContext":
+        """A clone of this context on a forked machine.
+
+        The warm-start primitive behind the fork-based sanitizer and
+        the experiment engine's snapshot reuse: register and warm the
+        DSs once, then fork per run instead of rebuild + replay.  The
+        clone's machine continues from this machine's exact simulated
+        state (:meth:`repro.core.machine.Machine.fork`); DS handles are
+        shared — they are immutable address sets whose decomposition
+        caches are geometry-keyed, hence fork-safe.  Subclasses holding
+        machine-derived references override this to re-bind them.
+        """
+        clone = copy.copy(self)
+        clone.machine = self.machine.fork()
+        clone._ds_registry = dict(self._ds_registry)
+        return clone
 
     # -- secret-dependent accesses (subclass responsibility) ------------------------
 

@@ -109,6 +109,10 @@ class DataflowLinearizationSet:
         self.lines: Tuple[int, ...] = tuple(lines)
         self._line_set = frozenset(lines)
         self._views: Dict[int, DSGroupView] = {}
+        #: cache-geometry-keyed line -> set-index decompositions and the
+        #: line -> position map, lazily built for the bulk sweep kernels
+        self._set_index_cache: Dict[Tuple, Tuple[int, ...]] = {}
+        self._line_index: Dict[int, int] = {}
         self._page_view = self.view(params.PAGE_BITS)
 
     # -- constructors ---------------------------------------------------------
@@ -172,6 +176,33 @@ class DataflowLinearizationSet:
 
     def page_of(self, addr: int) -> int:
         return addr_math.page_index(addr)
+
+    # -- bulk-sweep support ------------------------------------------------------
+
+    def set_indices_for(self, cache) -> Tuple[int, ...]:
+        """Per-line set indices in ``cache``, aligned with :attr:`lines`.
+
+        The decomposition depends only on the cache geometry, so it is
+        computed once per (DS, geometry) pair and shared by every sweep
+        the DS ever performs — the ``line -> (set index, tag)`` cache
+        the bulk kernels consume.
+        """
+        key = cache.geometry_key
+        cached = self._set_index_cache.get(key)
+        if cached is None:
+            set_index = cache.set_index
+            cached = self._set_index_cache[key] = tuple(
+                set_index(line) for line in self.lines
+            )
+        return cached
+
+    def line_index(self, line_addr: int) -> int:
+        """Position of ``line_addr`` (a line base) within :attr:`lines`."""
+        index = self._line_index
+        if not index:
+            for i, line in enumerate(self.lines):
+                index[line] = i
+        return index[line_addr]
 
     # -- the paper's generateAddrs (M=12 view) -----------------------------------
 

@@ -44,16 +44,14 @@ class SoftwareCTContext(MitigationContext):
         ds.require_member(addr)
         machine = self.machine
         machine.execute(machine.costs.ct_visit_insts)
-        elem_insts = self._elem_insts()
-        offset = addr_math.line_offset(addr)
-        target_line = addr_math.line_base(addr)
-        result = 0
-        for line in ds.lines:
-            machine.execute(elem_insts)
-            value = machine.load_word(line + offset)
-            if line == target_line:  # the cmov the sweep performs
-                result = value
-        return result
+        machine.sweep_load_lines(
+            ds,
+            addr_math.line_offset(addr),
+            pre_insts=self._elem_insts(),
+            collect_values=False,
+        )
+        # the cmov the sweep performs: keep only the requested word
+        return machine.memory.read_word(addr)
 
     def store(self, ds: DataflowLinearizationSet, addr: int, value: int) -> None:
         """Read-modify-write every DS line; only ``addr``'s word changes."""
@@ -61,14 +59,14 @@ class SoftwareCTContext(MitigationContext):
         machine = self.machine
         machine.execute(machine.costs.ct_visit_insts)
         elem_insts = self._elem_insts() + machine.costs.ct_store_elem_extra_insts
-        offset = addr_math.line_offset(addr)
-        target = addr_math.line_base(addr) + offset
-        for line in ds.lines:
-            machine.execute(elem_insts)
-            slot = line + offset
-            current = machine.load_word(slot)
-            new_value = value if slot == target else current
-            machine.store_word(slot, new_value)
+        machine.sweep_store_lines(
+            ds,
+            addr_math.line_offset(addr),
+            target_idx=ds.line_index(addr_math.line_base(addr)),
+            target_fn=lambda current: value,
+            pre_insts=elem_insts,
+            collect_values=False,
+        )
 
     def rmw(self, ds: DataflowLinearizationSet, addr: int, fn) -> int:
         """Fused read-modify-write in ONE sweep.
@@ -84,19 +82,16 @@ class SoftwareCTContext(MitigationContext):
         machine = self.machine
         machine.execute(machine.costs.ct_visit_insts)
         elem_insts = self._elem_insts() + machine.costs.ct_store_elem_extra_insts
-        offset = addr_math.line_offset(addr)
-        target = addr_math.line_base(addr) + offset
-        old = 0
-        for line in ds.lines:
-            machine.execute(elem_insts)
-            slot = line + offset
-            current = machine.load_word(slot)
-            if slot == target:
-                old = current
-                machine.store_word(slot, fn(current))
-            else:
-                machine.store_word(slot, current)
-        return old
+        target_idx = ds.line_index(addr_math.line_base(addr))
+        values = machine.sweep_store_lines(
+            ds,
+            addr_math.line_offset(addr),
+            target_idx=target_idx,
+            target_fn=fn,
+            pre_insts=elem_insts,
+            collect_values=False,
+        )
+        return values[target_idx]
 
     def gather(
         self, ds: DataflowLinearizationSet, addrs: Sequence[int]
@@ -114,19 +109,19 @@ class SoftwareCTContext(MitigationContext):
             ds.require_member(a)
         machine = self.machine
         machine.execute(machine.costs.ct_visit_insts)
-        elem_insts = self._elem_insts()
         wanted = {}
         for i, a in enumerate(addrs):
             wanted.setdefault(addr_math.line_base(a), []).append(i)
         results = [0] * len(addrs)
-        gather_insts = machine.costs.gather_elem_insts
-        for line in ds.lines:
-            machine.execute(elem_insts)
-            machine.load_word(line)
-            for i in wanted.get(line, ()):
-                # per-requested-word select out of the swept line
-                machine.execute(gather_insts)
-                results[i] = machine.memory.read_word(addrs[i])
+        machine.sweep_load_lines(
+            ds, pre_insts=self._elem_insts(), collect_values=False
+        )
+        # per-requested-word selects out of the swept lines
+        machine.execute(machine.costs.gather_elem_insts * len(addrs))
+        read_word = machine.memory.read_word
+        for indices in wanted.values():
+            for i in indices:
+                results[i] = read_word(addrs[i])
         repeat_sweeps = max(len(wanted) - 1, 0)
         if repeat_sweeps:
             machine.execute(repeat_sweeps * machine.costs.ct_visit_insts)

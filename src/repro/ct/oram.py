@@ -138,14 +138,19 @@ class PathORAM:
         path = self._path(leaf)
 
         # Read every slot of every bucket on the path into the stash.
+        # The simulated traffic is one batched load pass (the loaded
+        # words are protocol padding; block payloads are client-side).
+        read_addrs: List[int] = []
         for bucket in path:
             occupants = self._buckets.pop(bucket, {})
             for slot in range(BUCKET_SIZE):
-                machine.execute(CRYPTO_INSTS_PER_SLOT)
-                machine.load_word(self._slot_addr(bucket, slot))
+                read_addrs.append(self._slot_addr(bucket, slot))
                 resident = occupants.get(slot)
                 if resident is not None:
                     self.stash[resident] = self._data[resident]
+        machine.load_words(
+            read_addrs, pre_insts=CRYPTO_INSTS_PER_SLOT, collect_values=False
+        )
 
         # Serve the request from the stash.
         self.stash.setdefault(block_id, self._data[block_id])
@@ -162,6 +167,9 @@ class PathORAM:
             self.stash[block_id] = self._data[block_id]
 
         # Write the path back, leaf-first, greedily draining the stash.
+        # Placement is client-side; the writes go out as one batch.
+        write_addrs: List[int] = []
+        write_values: List[int] = []
         for bucket in reversed(path):
             placed: Dict[int, int] = {}
             for candidate in list(self.stash):
@@ -172,12 +180,43 @@ class PathORAM:
                     del self.stash[candidate]
             self._buckets[bucket] = placed
             for slot in range(BUCKET_SIZE):
-                machine.execute(CRYPTO_INSTS_PER_SLOT)
-                machine.store_word(
-                    self._slot_addr(bucket, slot),
-                    self._data[placed[slot]][0] if slot in placed else 0,
+                write_addrs.append(self._slot_addr(bucket, slot))
+                write_values.append(
+                    self._data[placed[slot]][0] if slot in placed else 0
                 )
+        machine.store_words(
+            write_addrs, write_values, pre_insts=CRYPTO_INSTS_PER_SLOT
+        )
         return result
+
+    # -- warm-start forking ----------------------------------------------------------
+
+    def fork_onto(self, machine: Machine) -> "PathORAM":
+        """A copy of this ORAM's client state bound to ``machine``.
+
+        ``machine`` must be a fork of this ORAM's machine, so the tree
+        storage it allocated is already present there.  The RNG state
+        is copied exactly: the fork's leaf-remapping stream continues
+        where the parent's stood at fork time.
+        """
+        new = PathORAM.__new__(PathORAM)
+        new.machine = machine
+        new.num_blocks = self.num_blocks
+        new.height = self.height
+        new.num_leaves = self.num_leaves
+        new.num_buckets = self.num_buckets
+        new._rng = random.Random()
+        new._rng.setstate(self._rng.getstate())
+        new.tree_base = self.tree_base
+        new.position = list(self.position)
+        new._data = {block: list(words) for block, words in self._data.items()}
+        # Stash values alias the _data entries (as in the live object).
+        new.stash = {block: new._data[block] for block in self.stash}
+        new._buckets = {
+            bucket: dict(slots) for bucket, slots in self._buckets.items()
+        }
+        new.accesses = self.accesses
+        return new
 
     # -- diagnostics ---------------------------------------------------------------
 
@@ -226,6 +265,15 @@ class ORAMContext(MitigationContext):
         offset = addr - key
         block, word = divmod(offset, params.LINE_SIZE)
         return oram, block, word // params.WORD_SIZE
+
+    def fork(self) -> "ORAMContext":
+        clone = super().fork()
+        clone._orams = {
+            key: oram.fork_onto(clone.machine)
+            for key, oram in self._orams.items()
+        }
+        clone._bases = dict(self._bases)
+        return clone
 
     def load(self, ds: DataflowLinearizationSet, addr: int) -> int:
         ds.require_member(addr)

@@ -54,8 +54,19 @@ class PLCachePreloadContext(MitigationContext):
         self.pin(ds)
         return ds
 
+    def fork(self) -> "PLCachePreloadContext":
+        clone = super().fork()
+        clone.l1d = clone.machine.l1d
+        clone.unpinned_lines = set(self.unpinned_lines)
+        return clone
+
     def pin(self, ds: DataflowLinearizationSet) -> int:
-        """Preload and lock every DS line; returns the pinned count."""
+        """Preload and lock every DS line; returns the pinned count.
+
+        Deliberately scalar (no bulk kernel): each line's lock lands
+        between its fill and the next line's, and that interleaving
+        steers which ways later fills may victimize.
+        """
         machine = self.machine
         pinned = 0
         for line in ds.lines:

@@ -40,36 +40,53 @@ def default_config(bia_level: str = "L1D", **overrides) -> MachineConfig:
     return MachineConfig(bia_level=bia_level, **overrides)
 
 
+def scheme_config(
+    scheme: str,
+    config: Optional[MachineConfig] = None,
+    costs: Optional[CostModel] = None,
+) -> MachineConfig:
+    """The machine configuration ``build_context`` uses for ``scheme``."""
+    if config is not None:
+        return config
+    kwargs = {}
+    if costs is not None:
+        kwargs["costs"] = costs
+    if scheme in ("insecure", "ct", "ct-scalar", "bia-l1d"):
+        return default_config("L1D", **kwargs)
+    if scheme == "bia-l2":
+        return default_config("L2", **kwargs)
+    if scheme == "bia-llc":
+        # Sec. 6.4: Skylake-X-like sliced LLC (LS_Hash = 12, M = 12)
+        return default_config("LLC", llc_slices=8, ls_hash=12, **kwargs)
+    raise ConfigurationError(
+        f"unknown scheme {scheme!r}; choices: {SCHEMES}"
+    )
+
+
 def build_context(
     scheme: str,
     config: Optional[MachineConfig] = None,
     costs: Optional[CostModel] = None,
     fetch_threshold: Optional[int] = None,
+    machine: Optional[Machine] = None,
 ) -> MitigationContext:
-    """Build a fresh machine + mitigation context for ``scheme``."""
-    kwargs = {}
-    if costs is not None:
-        kwargs["costs"] = costs
+    """Build a fresh machine + mitigation context for ``scheme``.
+
+    ``machine`` optionally supplies an already-built machine to wrap
+    (the warm-start pools of :mod:`repro.experiments.parallel` restore
+    a pristine snapshot onto a pooled machine instead of paying for
+    construction); its configuration must match what the scheme would
+    have built.
+    """
+    if machine is None:
+        machine = Machine(scheme_config(scheme, config, costs))
     if scheme == "insecure":
-        machine = Machine(config or default_config(**kwargs))
         return InsecureContext(machine)
     if scheme == "ct":
-        machine = Machine(config or default_config(**kwargs))
         return SoftwareCTContext(machine, simd=True)
     if scheme == "ct-scalar":
-        machine = Machine(config or default_config(**kwargs))
         return SoftwareCTContext(machine, simd=False)
-    if scheme == "bia-l1d":
-        machine = Machine(config or default_config("L1D", **kwargs))
-        return BIAContext(machine, fetch_threshold=fetch_threshold)
-    if scheme == "bia-l2":
-        machine = Machine(config or default_config("L2", **kwargs))
-        return BIAContext(machine, fetch_threshold=fetch_threshold)
-    if scheme == "bia-llc":
-        # Sec. 6.4: Skylake-X-like sliced LLC (LS_Hash = 12, M = 12)
-        machine = Machine(
-            config or default_config("LLC", llc_slices=8, ls_hash=12, **kwargs)
-        )
+    if scheme in ("bia-l1d", "bia-l2", "bia-llc"):
         return BIAContext(machine, fetch_threshold=fetch_threshold)
     raise ConfigurationError(
         f"unknown scheme {scheme!r}; choices: {SCHEMES}"

@@ -21,12 +21,19 @@ on:
 * :func:`parallel_sweep` — drop-in replacement for
   :func:`repro.experiments.runner.sweep` returning the identical
   ``{size: {scheme: RunResult}}`` mapping.
+* :class:`MachineTemplatePool` — per-process warm-start pool: sweep
+  points sharing a config prefix (the ``(scheme, config,
+  fetch_threshold)`` triple) reuse one pooled machine restored from a
+  pristine :meth:`~repro.core.machine.Machine.save_state` snapshot
+  instead of rebuilding the machine per run; :func:`use_warm_pool`
+  switches the behaviour off.
 
-Determinism: a spec fully determines its machine (fresh per run,
-seeded RNGs, seeded replacement policies), so a worker process
-produces bit-identical counters to an in-process run.  The test suite
+Determinism: a spec fully determines its machine (pristine state per
+run, seeded RNGs, seeded replacement policies), so a worker process
+produces bit-identical counters to an in-process run, and a pooled
+run bit-identical counters to a fresh-machine run.  The test suite
 asserts ``parallel_sweep(jobs=4)`` is counter-identical to the serial
-``sweep``.
+``sweep`` and pooled runs counter-identical to unpooled.
 
 Fault tolerance (the engine contract)
 -------------------------------------
@@ -73,11 +80,13 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, NamedTuple, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import repro
-from repro.core.machine import MachineConfig
+from repro.core.machine import Machine, MachineConfig, MachineState
+from repro.ct.context import MitigationContext
 from repro.errors import ConfigurationError, EngineError, SpecFailure
+from repro.experiments.config import build_context
 from repro.experiments.faults import FAULT_PLAN_ENV
 from repro.experiments.runner import RunResult, run_crypto, run_workload
 from repro.experiments.telemetry import RunRecord, RunTelemetry
@@ -130,8 +139,20 @@ class RunSpec:
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def run(self) -> RunResult:
-        """Execute this spec on a fresh machine (in this process)."""
+        """Execute this spec in this process.
+
+        When the process-wide warm-start pool is enabled (the default,
+        see :func:`use_warm_pool`), specs sharing a config prefix reuse
+        one pooled machine restored from its pristine snapshot instead
+        of rebuilding it; results are identical either way.
+        """
+        pool = _warm_pool
         if self.kind == "workload":
+            ctx = (
+                pool.context_for(self.scheme, self.config, self.fetch_threshold)
+                if pool is not None
+                else None
+            )
             return run_workload(
                 self.workload,
                 self.size,
@@ -139,10 +160,20 @@ class RunSpec:
                 seed=self.seed,
                 config=self.config,
                 fetch_threshold=self.fetch_threshold,
+                ctx=ctx,
             )
         if self.kind == "crypto":
+            ctx = (
+                pool.context_for(self.scheme, self.config)
+                if pool is not None
+                else None
+            )
             return run_crypto(
-                self.workload, self.scheme, seed=self.seed, config=self.config
+                self.workload,
+                self.scheme,
+                seed=self.seed,
+                config=self.config,
+                ctx=ctx,
             )
         raise ConfigurationError(
             f"unknown RunSpec kind {self.kind!r}; choices: workload, crypto"
@@ -238,6 +269,105 @@ class ResultCache:
                         os.remove(os.path.join(self.path, name))
                     except OSError:  # pragma: no cover
                         pass
+
+
+# -- warm-start machine pool ---------------------------------------------------
+
+
+@dataclass(slots=True)
+class WarmPoolStats:
+    """Pool activity counters (tests assert reuse actually happens)."""
+
+    builds: int = 0
+    reuses: int = 0
+
+
+class MachineTemplatePool:
+    """Per-process reuse of machines across specs sharing a config prefix.
+
+    Every spec whose ``(scheme, config, fetch_threshold)`` triple — the
+    *config prefix* that fully determines machine construction — matches
+    an earlier spec starts from the same pristine machine state.  The
+    pool builds that machine once, captures a snapshot with
+    :meth:`repro.core.machine.Machine.save_state`, and for every later
+    spec restores the snapshot onto the pooled machine instead of
+    re-running construction (cache arrays, BIA tables, DRAM banks,
+    hierarchy wiring).  Restoration is observationally complete — the
+    equivalence tests assert pooled runs are counter-identical to
+    fresh-machine runs — so the engine's determinism contract holds.
+
+    The pool is strictly per-process: each worker of the parallel
+    engine grows its own, which is exactly the domain where reusing a
+    machine object is safe (runs within one process are serial).  A
+    checked-out context is valid until the next ``context_for`` call
+    with the same key; callers attaching external observers to the
+    pooled machine must detach them before returning control.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, tuple] = {}
+        self.stats = WarmPoolStats()
+
+    def context_for(
+        self,
+        scheme: str,
+        config: Optional[MachineConfig] = None,
+        fetch_threshold: Optional[int] = None,
+    ) -> MitigationContext:
+        """A context for this prefix, on a machine in pristine state."""
+        key = (scheme, config, fetch_threshold)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.builds += 1
+            ctx = build_context(
+                scheme, config=config, fetch_threshold=fetch_threshold
+            )
+            self._entries[key] = (ctx.machine, ctx.machine.save_state())
+            return ctx
+        self.stats.reuses += 1
+        machine, pristine = entry
+        machine.restore_state(pristine)
+        return build_context(
+            scheme,
+            config=config,
+            fetch_threshold=fetch_threshold,
+            machine=machine,
+        )
+
+    def snapshot_for(
+        self,
+        scheme: str,
+        config: Optional[MachineConfig] = None,
+        fetch_threshold: Optional[int] = None,
+    ) -> Tuple[Machine, MachineState]:
+        """The pooled ``(machine, pristine snapshot)`` pair for a prefix."""
+        key = (scheme, config, fetch_threshold)
+        if key not in self._entries:
+            self.context_for(scheme, config, fetch_threshold)
+        return self._entries[key]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: The process-wide pool :meth:`RunSpec.run` draws from.  ``None``
+#: disables warm starts (every spec builds a fresh machine).
+_warm_pool: Optional[MachineTemplatePool] = MachineTemplatePool()
+
+
+def warm_pool() -> Optional[MachineTemplatePool]:
+    """The active warm-start pool (``None`` when disabled)."""
+    return _warm_pool
+
+
+def use_warm_pool(enabled: bool = True) -> Optional[MachineTemplatePool]:
+    """Enable (with a fresh pool) or disable engine warm starts."""
+    global _warm_pool
+    _warm_pool = MachineTemplatePool() if enabled else None
+    return _warm_pool
 
 
 # -- process-global defaults ---------------------------------------------------

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence
 
 from repro.core.machine import MachineConfig
+from repro.ct.context import MitigationContext
 from repro.experiments.config import build_context
 from repro.workloads import WORKLOADS
 from repro.workloads.crypto import run_cipher
@@ -34,10 +35,20 @@ def run_workload(
     seed: int = 1,
     config: Optional[MachineConfig] = None,
     fetch_threshold: Optional[int] = None,
+    ctx: Optional[MitigationContext] = None,
 ) -> RunResult:
-    """Execute one Table-2 workload on a fresh machine."""
+    """Execute one Table-2 workload on a fresh machine.
+
+    ``ctx`` optionally supplies a pre-built context in pristine machine
+    state (the parallel engine's warm-start pool passes one restored
+    from a snapshot instead of rebuilding the machine); it must match
+    ``scheme``/``config``/``fetch_threshold``.
+    """
     descriptor = WORKLOADS[workload]
-    ctx = build_context(scheme, config=config, fetch_threshold=fetch_threshold)
+    if ctx is None:
+        ctx = build_context(
+            scheme, config=config, fetch_threshold=fetch_threshold
+        )
     output = descriptor.run(ctx, size, seed)
     return RunResult(
         workload=workload,
@@ -50,10 +61,15 @@ def run_workload(
 
 
 def run_crypto(
-    cipher: str, scheme: str, seed: int = 1, config: Optional[MachineConfig] = None
+    cipher: str,
+    scheme: str,
+    seed: int = 1,
+    config: Optional[MachineConfig] = None,
+    ctx: Optional[MitigationContext] = None,
 ) -> RunResult:
     """Execute one Fig. 9 cipher on a fresh machine."""
-    ctx = build_context(scheme, config=config)
+    if ctx is None:
+        ctx = build_context(scheme, config=config)
     output = run_cipher(cipher, ctx, seed)
     return RunResult(
         workload=f"crypto:{cipher}",

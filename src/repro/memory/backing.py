@@ -29,6 +29,9 @@ class MainMemory:
 
     def __init__(self) -> None:
         self._pages: Dict[int, bytearray] = {}
+        #: page indices shared (copy-on-write) with a machine snapshot
+        #: or fork; a writer must replace the page before mutating it.
+        self._frozen: set = set()
 
     # -- raw byte interface -------------------------------------------------
 
@@ -58,6 +61,9 @@ class MainMemory:
             page = self._pages.get(idx)
             if page is None:
                 page = self._pages[idx] = bytearray(params.PAGE_SIZE)
+            elif idx in self._frozen:
+                page = self._pages[idx] = bytearray(page)
+                self._frozen.discard(idx)
             off = addr_math.page_offset(a)
             chunk = min(size - pos, params.PAGE_SIZE - off)
             page[off : off + chunk] = data[pos : pos + chunk]
@@ -99,6 +105,10 @@ class MainMemory:
             page = self._pages.get(idx)
             if page is None:
                 page = self._pages[idx] = bytearray(params.PAGE_SIZE)
+            elif self._frozen and idx in self._frozen:
+                # Copy-on-write: this page is shared with a snapshot.
+                page = self._pages[idx] = bytearray(page)
+                self._frozen.discard(idx)
             off = addr & (params.PAGE_SIZE - 1)
             page[off : off + size] = data
             return
@@ -123,6 +133,25 @@ class MainMemory:
     def touched_pages(self) -> Iterable[int]:
         """Indices of pages that have been written at least once."""
         return self._pages.keys()
+
+    # -- snapshot / fork support (copy-on-write) -----------------------------------
+
+    def share_pages(self) -> Dict[int, bytearray]:
+        """Freeze the current pages for sharing with a snapshot.
+
+        Marks every live page copy-on-write in *this* memory and
+        returns a shallow copy of the page table.  The caller hands the
+        returned dict to :meth:`adopt_pages` on another (or the same)
+        memory; neither side ever mutates a shared page in place, so
+        the snapshot stays byte-exact no matter who writes afterwards.
+        """
+        self._frozen.update(self._pages)
+        return dict(self._pages)
+
+    def adopt_pages(self, pages: Dict[int, bytearray]) -> None:
+        """Install a page table from :meth:`share_pages` (all CoW)."""
+        self._pages = dict(pages)
+        self._frozen = set(pages)
 
 
 class Allocator:

@@ -49,6 +49,22 @@ class DRAMStats:
         self.row_conflicts = 0
         self.rows_touched.clear()
 
+    def clone(self) -> "DRAMStats":
+        return DRAMStats(
+            reads=self.reads,
+            writes=self.writes,
+            row_hits=self.row_hits,
+            row_conflicts=self.row_conflicts,
+            rows_touched=set(self.rows_touched),
+        )
+
+    def load_from(self, other: "DRAMStats") -> None:
+        self.reads = other.reads
+        self.writes = other.writes
+        self.row_hits = other.row_hits
+        self.row_conflicts = other.row_conflicts
+        self.rows_touched = set(other.rows_touched)
+
 
 class DRAM:
     """A DRAM device behind the LLC.
@@ -136,6 +152,17 @@ class DRAM:
     def open_row(self, bank: int):
         """The row currently open in ``bank`` (open policy only)."""
         return self._open_rows.get(bank)
+
+    # -- state capture / restore (machine fork support) ------------------------
+
+    def capture_state(self):
+        """Snapshot counters + open-row buffers (fork/restore support)."""
+        return (self.stats.clone(), dict(self._open_rows))
+
+    def restore_state(self, state) -> None:
+        stats, open_rows = state
+        self.stats.load_from(stats)
+        self._open_rows = dict(open_rows)
 
     def close_rows(self) -> None:
         """Precharge every bank (forget all open-row state).

@@ -1,0 +1,360 @@
+"""Differential proof: bulk-access kernels == scalar loops, observably.
+
+The batched kernels (:meth:`Machine.load_words` / ``store_words`` /
+``rmw_words`` and the DS sweep wrappers) promise *observational
+identity* with the scalar ``execute`` + ``load_word`` / ``store_word``
+loops they replace: same counters, same event traces (when anyone
+listens), same final cache state, same per-set access profiles, same
+memory image, same returned values.  These properties drive both paths
+on twin machines over Hypothesis-generated configurations — replacement
+policies, set geometries, silent-store machines, secret-dependent
+flags, listener presence — and diff everything an attacker (or a
+figure) could read.
+
+The default cost model has an integer-valued CPI, and these tests keep
+it: the kernels replicate the scalar float-addition order per element,
+and integer CPI additionally makes every consumer-level fold exact.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.observer import ObservableTraceRecorder
+from repro.core.machine import Machine, MachineConfig
+
+ARENA_LINES = 512  # 32 KiB arena: larger than a 4 KiB L1d, smaller than L2
+
+#: (l1d_size, l1d_assoc) choices — from direct-mapped-ish tiny up to Table 1.
+GEOMETRIES = [(4096, 4), (8192, 8), (16384, 2), (65536, 8)]
+
+POLICIES = ["lru", "fifo", "random", "plru"]
+
+configs = st.builds(
+    lambda geom, policy, silent, seed: MachineConfig(
+        l1d_size=geom[0],
+        l1d_assoc=geom[1],
+        replacement=policy,
+        silent_stores=silent,
+        replacement_seed=seed,
+    ),
+    geom=st.sampled_from(GEOMETRIES),
+    policy=st.sampled_from(POLICIES),
+    silent=st.booleans(),
+    seed=st.integers(min_value=0, max_value=3),
+)
+
+addr_seqs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=ARENA_LINES - 1),
+        st.integers(min_value=0, max_value=15),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _twins(config, listeners):
+    """Two identical machines (+ recorders), arena base, listener flag."""
+    machines, recorders = [], []
+    base = None
+    for _ in range(2):
+        m = Machine(config)
+        base = m.allocator.alloc(ARENA_LINES * 64, "arena")
+        rng = random.Random(99)
+        for i in range(ARENA_LINES):
+            m.memory.write_word(base + 64 * i, rng.randrange(1 << 32))
+        if listeners:
+            m.ctops.ctload(base)  # allocate a BIA entry: events now flow
+            rec = ObservableTraceRecorder()
+            for lvl in ("L1D", "L2", "LLC"):
+                rec.attach(m.hierarchy.level(lvl))
+        else:
+            rec = None
+        machines.append(m)
+        recorders.append(rec)
+    return machines, recorders, base
+
+
+def _assert_observably_equal(ma, mb, ra, rb, base, where=""):
+    assert ma.snapshot() == mb.snapshot(), where
+    for lvl in ("L1D", "L2", "LLC"):
+        sa = ma.hierarchy.level(lvl).stats
+        sb = mb.hierarchy.level(lvl).stats
+        assert (sa.hits, sa.misses, sa.fills, sa.evictions,
+                sa.dirty_evictions) == (
+            sb.hits, sb.misses, sb.fills, sb.evictions, sb.dirty_evictions
+        ), (where, lvl)
+        assert dict(sa.set_accesses) == dict(sb.set_accesses), (where, lvl)
+    if ra is not None:
+        assert ra.events == rb.events, where
+        assert ra.final_state_digest() == rb.final_state_digest(), where
+    for i in range(ARENA_LINES):
+        a = base + 64 * i
+        assert ma.memory.read_word(a) == mb.memory.read_word(a), (where, i)
+
+
+class TestLoadWords:
+    @given(config=configs, seq=addr_seqs, pre=st.integers(0, 4),
+           secret=st.booleans(), listeners=st.booleans(),
+           collect=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar(self, config, seq, pre, secret, listeners,
+                            collect):
+        (ma, mb), (ra, rb), base = _twins(config, listeners)
+        addrs = [base + 64 * line + 4 * word for line, word in seq]
+        got = ma.load_words(
+            addrs, pre_insts=pre, secret_dependent=secret,
+            collect_values=collect,
+        )
+        want = []
+        for a in addrs:
+            if pre:
+                mb.execute(pre)
+            want.append(mb.load_word(a, secret_dependent=secret))
+        if collect:
+            assert got == want
+        else:
+            assert got is None
+        _assert_observably_equal(ma, mb, ra, rb, base, "load_words")
+
+
+class TestStoreWords:
+    @given(config=configs, seq=addr_seqs, pre=st.integers(0, 4),
+           secret=st.booleans(), listeners=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar(self, config, seq, pre, secret, listeners):
+        (ma, mb), (ra, rb), base = _twins(config, listeners)
+        addrs = [base + 64 * line + 4 * word for line, word in seq]
+        rng = random.Random(5)
+        values = [rng.randrange(1 << 32) for _ in addrs]
+        # Some silent-store candidates: rewrite the current contents.
+        for i in range(0, len(addrs), 3):
+            values[i] = ma.memory.read_word(addrs[i])
+        ma.store_words(addrs, values, pre_insts=pre, secret_dependent=secret)
+        for a, v in zip(addrs, values):
+            if pre:
+                mb.execute(pre)
+            mb.store_word(a, v, secret_dependent=secret)
+        _assert_observably_equal(ma, mb, ra, rb, base, "store_words")
+
+
+class TestRmwWords:
+    @given(config=configs, seq=addr_seqs, pre=st.integers(0, 4),
+           secret=st.booleans(), listeners=st.booleans(),
+           collect=st.booleans(), target_frac=st.floats(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar(self, config, seq, pre, secret, listeners,
+                            collect, target_frac):
+        (ma, mb), (ra, rb), base = _twins(config, listeners)
+        addrs = [base + 64 * line + 4 * word for line, word in seq]
+        target = int(target_frac * (len(addrs) - 1))
+        fn = lambda v: (v * 3 + 1) & 0xFFFFFFFF  # noqa: E731
+        got = ma.rmw_words(
+            addrs, target_idx=target, target_fn=fn, pre_insts=pre,
+            secret_dependent=secret, collect_values=collect,
+        )
+        want = []
+        for i, a in enumerate(addrs):
+            if pre:
+                mb.execute(pre)
+            v = mb.load_word(a, secret_dependent=secret)
+            want.append(v)
+            mb.store_word(a, fn(v) if i == target else v,
+                          secret_dependent=secret)
+        if collect:
+            assert got == want
+        else:
+            assert got[target] == want[target]
+            assert all(v is None for i, v in enumerate(got) if i != target)
+        _assert_observably_equal(ma, mb, ra, rb, base, "rmw_words")
+
+
+class TestCTSweepOps:
+    """The software-CT context's batched sweeps vs its scalar contract."""
+
+    @given(config=configs, ops=st.lists(
+        st.tuples(st.sampled_from(["load", "store", "rmw", "gather"]),
+                  st.integers(0, ARENA_LINES - 1)),
+        min_size=1, max_size=12,
+    ), listeners=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_context_ops_match_scalar_reference(self, config, ops,
+                                                listeners):
+        from repro.ct.linearize import SoftwareCTContext
+        from repro.memory import address as addr_math
+
+        (ma, mb), (ra, rb), base = _twins(config, listeners)
+        ctx = SoftwareCTContext(ma, simd=True)
+        ds = ctx.register_ds(base, ARENA_LINES * 64, "arena")
+        ds_b = None  # scalar reference needs only the line list
+        lines = list(ds.lines)
+        costs = mb.costs
+        elem = costs.ct_simd_elem_insts
+        store_elem = elem + costs.ct_store_elem_extra_insts
+
+        for kind, line_idx in ops:
+            addr = base + 64 * line_idx + 4 * (line_idx % 16)
+            if kind == "load":
+                got = ctx.load(ds, addr)
+                # scalar reference: visit + per-line (execute; load)
+                mb.execute(costs.ct_visit_insts)
+                off = addr_math.line_offset(addr)
+                want = None
+                for ln in lines:
+                    mb.execute(elem)
+                    v = mb.load_word(ln + off)
+                    if ln == addr_math.line_base(addr):
+                        want = v
+                assert got == want
+            elif kind in ("store", "rmw"):
+                fn = (lambda v: (v + 7) & 0xFFFFFFFF)
+                if kind == "store":
+                    ctx.store(ds, addr, 1234 + line_idx)
+                else:
+                    got = ctx.rmw(ds, addr, fn)
+                mb.execute(costs.ct_visit_insts)
+                off = addr_math.line_offset(addr)
+                tgt = addr_math.line_base(addr)
+                for ln in lines:
+                    mb.execute(store_elem)
+                    v = mb.load_word(ln + off)
+                    if ln == tgt:
+                        if kind == "rmw":
+                            assert got == v
+                            new = fn(v)
+                        else:
+                            new = 1234 + line_idx
+                    else:
+                        new = v
+                    mb.store_word(ln + off, new)
+            else:  # gather
+                width = 1 + line_idx % 7
+                rng = random.Random(line_idx)
+                batch = [
+                    base + 64 * rng.randrange(ARENA_LINES) for _ in range(width)
+                ]
+                got = ctx.gather(ds, batch)
+                # scalar reference: visit + one full sweep + selects +
+                # charged repeats (identical to the context's contract)
+                mb.execute(costs.ct_visit_insts)
+                for ln in lines:
+                    mb.execute(elem)
+                    mb.load_word(ln)
+                mb.execute(costs.gather_elem_insts * len(batch))
+                want = [mb.memory.read_word(a) for a in batch]
+                wanted_lines = {addr_math.line_base(a) for a in batch}
+                repeats = max(len(wanted_lines) - 1, 0)
+                if repeats:
+                    mb.execute(repeats * costs.ct_visit_insts)
+                    mb.charge_memory(
+                        repeats * len(lines), costs.ct_gather_repeat_latency
+                    )
+                assert got == want
+        _assert_observably_equal(ma, mb, ra, rb, base, "ct-sweep")
+
+
+class TestSweepWrappers:
+    def test_sweep_load_lines_uses_ds_decomposition(self):
+        from repro.ct.ds import DataflowLinearizationSet
+
+        m = Machine(MachineConfig())
+        base = m.allocator.alloc(8 * 1024, "b")
+        ds = DataflowLinearizationSet.from_range(base, 8 * 1024, name="b")
+        ref = Machine(MachineConfig())
+        ref.allocator.alloc(8 * 1024, "b")
+        vals = m.sweep_load_lines(ds, offset=8)
+        for line in ds.lines:
+            ref.load_word(line + 8)
+        assert m.snapshot() == ref.snapshot()
+        assert vals == [m.memory.read_word(line + 8) for line in ds.lines]
+
+    def test_sweep_store_lines_applies_target_only(self):
+        from repro.ct.ds import DataflowLinearizationSet
+
+        m = Machine(MachineConfig())
+        base = m.allocator.alloc(4 * 1024, "b")
+        for i in range(64):
+            m.memory.write_word(base + 64 * i, i)
+        ds = DataflowLinearizationSet.from_range(base, 4 * 1024, name="b")
+        old = m.sweep_store_lines(ds, target_idx=5, target_fn=lambda v: 777)
+        assert old[5] == 5
+        for i in range(64):
+            expect = 777 if i == 5 else i
+            assert m.memory.read_word(base + 64 * i) == expect
+
+    def test_offset_must_stay_intra_line(self):
+        # documented contract: offset < line size keeps words on DS lines
+        from repro.ct.ds import DataflowLinearizationSet
+
+        m = Machine(MachineConfig())
+        base = m.allocator.alloc(1024, "b")
+        ds = DataflowLinearizationSet.from_range(base, 1024, name="b")
+        vals = m.sweep_load_lines(ds, offset=60)
+        assert len(vals) == len(ds.lines)
+
+
+class TestWarmPool:
+    """The experiment engine's pooled machines == fresh machines."""
+
+    SPECS = [
+        ("histogram", 200, "insecure"),
+        ("histogram", 200, "ct"),
+        ("binary_search", 128, "bia-l1d"),
+        ("histogram", 200, "bia-llc"),
+    ]
+
+    def test_pooled_runs_counter_identical_to_fresh(self):
+        from repro.experiments.parallel import (
+            RunSpec,
+            use_warm_pool,
+            warm_pool,
+        )
+
+        specs = [
+            RunSpec(w, size, scheme, seed)
+            for w, size, scheme in self.SPECS
+            for seed in (1, 2)
+        ]
+        try:
+            use_warm_pool(False)
+            fresh = [s.run() for s in specs]
+            pool = use_warm_pool(True)
+            # run twice: second pass exercises restore-and-reuse
+            pooled = [s.run() for s in specs] + [s.run() for s in specs]
+        finally:
+            use_warm_pool(True)
+        for f, p in zip(fresh + fresh, pooled):
+            assert f.counters == p.counters
+            assert f.output == p.output
+            assert f.label == p.label
+        assert pool.stats.builds == len(self.SPECS)
+        assert pool.stats.reuses == 2 * len(specs) - len(self.SPECS)
+        assert warm_pool() is not None  # default engine keeps a pool
+
+
+@pytest.mark.parametrize("scheme", ["plain", "plcache"])
+def test_rmw_words_miss_resume_across_fill_refusal(scheme):
+    """The kernel's miss-resume path stays exact when fills are refused."""
+    config = MachineConfig(plcache=(scheme == "plcache"))
+    ma, mb = Machine(config), Machine(config)
+    base = None
+    for m in (ma, mb):
+        base = m.allocator.alloc(16 * 1024, "b")
+    if scheme == "plcache":
+        # lock whole sets so some DS fills are refused
+        for m in (ma, mb):
+            for i in range(64):
+                m.load_word(base + 64 * i)
+                m.l1d.lock(base + 64 * i)
+    addrs = [base + 64 * (i % 256) for i in range(300)]
+    got = ma.rmw_words(addrs, target_idx=7, target_fn=lambda v: v + 1)
+    want = []
+    for i, a in enumerate(addrs):
+        v = mb.load_word(a)
+        want.append(v)
+        mb.store_word(a, v + 1 if i == 7 else v)
+    assert got == want
+    assert ma.snapshot() == mb.snapshot()
