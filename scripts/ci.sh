@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# The one-command CI gate: everything a PR must pass, in the order
+# that fails fastest.
+#   1. style lint (ruff, when installed; config in pyproject.toml)
+#   2. tier-1 test suite (pytest tests/ — includes the fault-injection
+#      resilience tests and the crash/resume store tests)
+#   3. the domain lint: `python -m repro ctcheck --all` — the
+#      constant-time checker over every built-in IR program and every
+#      workload's registered DS linearization sets (exits 1 on
+#      error-severity findings)
+#   4. a perf sanity pass: `python -m repro bench --repeats 1` (single
+#      repeat — a smoke that the measured hot paths still run, not a
+#      stable throughput number; scripts/bench.sh records those)
+#
+# Usage: scripts/ci.sh [extra pytest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check"
+    ruff check src tests benchmarks examples
+else
+    echo "== ruff not installed; skipping style lint"
+fi
+
+echo "== tier-1 tests (pytest tests/)"
+python -m pytest tests/ -q "$@"
+
+echo "== constant-time check (python -m repro ctcheck --all)"
+python -m repro ctcheck --all
+
+echo "== perf smoke (python -m repro bench --repeats 1)"
+python -m repro bench --repeats 1
+
+echo "== CI gate passed"

@@ -30,10 +30,18 @@ class EvictTimeAttacker:
         victim()
         return self.machine.stats.cycles - before
 
-    def evict_set(self, set_idx: int) -> None:
-        """Evict every resident line of one set (conflict-set model)."""
+    def evict_set(self, set_idx: int) -> int:
+        """Evict every resident line of one set (conflict-set model).
+
+        Returns the total dirty-write-back latency the evictions
+        incurred — part of the attacker's own timing cost, and a
+        dirtiness signal in its own right (a set full of dirty victim
+        lines evicts measurably slower than a clean one).
+        """
+        total = 0
         for line_addr, _dirty in list(self.cache.set_contents(set_idx)):
-            self.machine.attacker_evict(self.level, line_addr)
+            total += self.machine.attacker_evict(self.level, line_addr).latency
+        return total
 
     def attack(
         self,

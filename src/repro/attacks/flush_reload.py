@@ -26,10 +26,14 @@ class FlushReloadAttacker:
         self.machine = machine
         self.lines = sorted({addr_math.line_base(a) for a in monitored_lines})
 
-    def flush(self) -> None:
-        """clflush every monitored line out of the whole hierarchy."""
-        for line in self.lines:
-            self.machine.attacker_flush(line)
+    def flush(self) -> Dict[int, int]:
+        """clflush every monitored line; returns {line_addr: latency}.
+
+        The per-line flush latency is the dirty-write-back cost, i.e.
+        the Flush+Flush signal: a non-zero latency means some cached
+        copy of the line was dirty when flushed.
+        """
+        return {line: self.machine.attacker_flush(line) for line in self.lines}
 
     def reload(self) -> Dict[int, int]:
         """Reload each line; returns {line_addr: latency}."""

@@ -43,6 +43,30 @@ class AccessResult:
         return f"<Access {self.hit_level or 'DRAM'} {self.latency}cy>"
 
 
+class EvictResult:
+    """Outcome of a targeted (attacker) eviction at one level.
+
+    Truthy iff the line was present and evicted — existing callers that
+    treated :meth:`CacheHierarchy.evict_line_from` as a bool keep
+    working — while ``latency`` carries the dirty-write-back cost the
+    eviction incurred (0 for clean or absent lines).  Evict+Time
+    measurements must charge that latency: a dirty victim's write-back
+    is exactly the timing signal the old bool return threw away.
+    """
+
+    __slots__ = ("evicted", "latency")
+
+    def __init__(self, evicted: bool, latency: int = 0):
+        self.evicted = evicted
+        self.latency = latency
+
+    def __bool__(self) -> bool:
+        return self.evicted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Evict {'hit' if self.evicted else 'miss'} {self.latency}cy>"
+
+
 class CacheHierarchy:
     """An ordered stack of caches backed by DRAM."""
 
@@ -251,17 +275,20 @@ class CacheHierarchy:
                 was_dirty = True
         return self.dram.write_line(line_addr) if was_dirty else 0
 
-    def evict_line_from(self, name: str, line_addr: int) -> bool:
+    def evict_line_from(self, name: str, line_addr: int) -> EvictResult:
         """Invalidate ``line_addr`` at one level only (attacker eviction).
 
-        Dirty victims propagate exactly like capacity evictions.
+        Dirty victims propagate exactly like capacity evictions.  The
+        :class:`EvictResult` is truthy iff the line was present and
+        carries the write-back latency the eviction incurred, so
+        Evict+Time attackers observe dirty-line cost instead of it
+        being silently dropped.
         """
         idx = self.level_index(name)
         line = self.levels[idx].invalidate(line_addr)
         if line is None:
-            return False
-        self._write_back_victim(idx, line)
-        return True
+            return EvictResult(False)
+        return EvictResult(True, self._write_back_victim(idx, line))
 
     # -- introspection ------------------------------------------------------------------
 

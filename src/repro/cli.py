@@ -109,6 +109,12 @@ def _cmd_experiments(args) -> int:
         argv = [f"--retries={args.retries}"] + argv
     if args.run_log:
         argv = [f"--run-log={args.run_log}"] + argv
+    if args.run_dir:
+        argv = [f"--run-dir={args.run_dir}"] + argv
+    if args.resume:
+        argv = [f"--resume={args.resume}"] + argv
+    if args.from_store:
+        argv = [f"--from-store={args.from_store}"] + argv
     return experiments_main(argv)
 
 
@@ -250,6 +256,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--run-log",
         default=None,
         help="write the telemetry run log (JSONL, one record per attempt)",
+    )
+    experiments.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="crash-safe run directory: manifest + durable results + "
+        "streaming telemetry (resumable with --resume DIR)",
+    )
+    experiments.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="finish an interrupted sweep from its run directory "
+        "(already-durable specs are served from the store)",
+    )
+    experiments.add_argument(
+        "--from-store",
+        default=None,
+        metavar="DIR",
+        help="rebuild targets offline from a run directory's store "
+        "(missing specs error instead of simulating)",
     )
     experiments.set_defaults(fn=_cmd_experiments)
 

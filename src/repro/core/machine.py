@@ -804,15 +804,25 @@ class Machine:
         )
         return result.latency
 
-    def attacker_flush(self, addr: int) -> None:
-        """clflush from the attacker (Flush+Reload primitive)."""
-        self.hierarchy.flush_line(addr & _LINE_BASE_MASK)
+    def attacker_flush(self, addr: int) -> int:
+        """clflush from the attacker (Flush+Reload primitive).
 
-    def attacker_evict(self, level: str, addr: int) -> bool:
+        Returns the flush's latency: the DRAM write-back cost if any
+        cached copy was dirty, else 0.  clflush timing is itself a
+        side channel (Flush+Flush measures exactly this), and dropping
+        it also silently undercharged every Flush+Reload attack phase
+        that flushes dirty victim lines.
+        """
+        return self.hierarchy.flush_line(addr & _LINE_BASE_MASK)
+
+    def attacker_evict(self, level: str, addr: int):
         """Targeted eviction of one line at one level.
 
         Models the effect of an attacker priming the conflicting set
-        without simulating its whole working set.
+        without simulating its whole working set.  Returns the
+        :class:`~repro.cache.hierarchy.EvictResult` — truthy iff the
+        line was present, with ``latency`` carrying the dirty-write-
+        back cost so Evict+Time measurements can charge it.
         """
         return self.hierarchy.evict_line_from(level, addr & _LINE_BASE_MASK)
 

@@ -104,13 +104,26 @@ class RemoteCore:
         )
         return result.latency
 
-    def flush(self, addr: int) -> None:
-        """Cross-core clflush: global invalidation of the line."""
+    def flush(self, addr: int) -> int:
+        """Cross-core clflush: global invalidation of the line.
+
+        Returns the flush latency: the DRAM write-back cost if any
+        copy anywhere — the attacker's stack, the shared LLC, or the
+        victim's private caches purged by coherence — was dirty.  A
+        line is written back once even when several copies are dirty
+        (they are the same line).
+        """
         line_addr = addr_math.line_base(addr)
-        self.hierarchy.flush_line(line_addr)  # own L1/L2 + shared LLC
+        latency = self.hierarchy.flush_line(line_addr)  # own L1/L2 + LLC
         # Coherence also purges the victim's private copies.
-        self.machine.l1d.invalidate(line_addr)
-        self.machine.l2.invalidate(line_addr)
+        victim_dirty = False
+        for cache in (self.machine.l1d, self.machine.l2):
+            line = cache.invalidate(line_addr)
+            if line is not None and line.dirty:
+                victim_dirty = True
+        if victim_dirty and not latency:
+            latency = self.machine.dram.write_line(line_addr)
+        return latency
 
     def llc_hit_latency(self) -> int:
         """Latency threshold separating LLC hits from DRAM fetches."""

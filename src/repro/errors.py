@@ -42,6 +42,16 @@ class AllocationError(MemoryError_):
     """The allocator could not satisfy a request (exhausted or invalid)."""
 
 
+class StoreError(ReproError):
+    """The persistent result store or sweep manifest is unusable.
+
+    Raised by :mod:`repro.experiments.store` for mid-file corruption
+    (a torn *trailing* record is tolerated and skipped instead),
+    writes to a read-only store, or a resume attempt on a directory
+    with no manifest.
+    """
+
+
 class ProtocolError(ReproError):
     """A component was driven in a way its protocol forbids.
 

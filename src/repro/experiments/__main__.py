@@ -4,7 +4,9 @@ Usage::
 
     python -m repro.experiments [--jobs N] [--no-cache]
                                 [--timeout S] [--retries N]
-                                [--run-log FILE] [target ...]
+                                [--run-log FILE] [--run-dir DIR]
+                                [--resume DIR] [--from-store DIR]
+                                [target ...]
 
 Targets: ``table1``, ``motivation``, ``fig2``, ``fig7``, ``fig8``,
 ``fig9``, ``fig10``, ``headline``, or ``all`` (default).  Full paper
@@ -23,6 +25,25 @@ engine's per-spec failure log and the run continues with the next
 target (exit status 1 at the end).  Every attempt is recorded by the
 telemetry sink: a summary table prints at the end, and ``--run-log
 FILE`` exports the full JSONL run log (one record per attempt).
+
+Durability (checkpoint/resume):
+
+``--run-dir DIR``
+    Open ``DIR`` as a crash-safe run directory (see
+    :mod:`repro.experiments.store`): the sweep's specs are recorded in
+    ``DIR/manifest.json`` before execution, every completed result is
+    appended durably to ``DIR/results/`` as it arrives, and telemetry
+    streams to ``DIR/telemetry.jsonl``.  Re-running with the same
+    ``--run-dir`` serves already-durable specs from the store.
+``--resume DIR``
+    Finish an interrupted sweep: re-enqueue exactly the manifest's
+    specs (engine settings default to the manifest's snapshot; explicit
+    flags override) and simulate only the ones whose results are not
+    yet durable.  No target names are needed — the manifest *is* the
+    work list.
+``--from-store DIR``
+    Rebuild the requested targets offline from ``DIR``'s store; a spec
+    missing from the store is an error, never a simulation.
 """
 
 from __future__ import annotations
@@ -76,12 +97,17 @@ TARGETS = {
 
 
 def _parse_engine_flags(argv):
-    """Split ``argv`` into (engine options, remaining args).
+    """Split ``argv`` into (engine options, provided names, remaining).
 
     Recognized: ``--jobs N``, ``--timeout S``, ``--retries N``,
-    ``--run-log FILE`` (each also in ``--flag=value`` form) and
+    ``--run-log FILE``, ``--run-dir DIR``, ``--resume DIR``,
+    ``--from-store DIR`` (each also in ``--flag=value`` form) and
     ``--no-cache``.  Unknown ``-``-prefixed args are passed through
     (and later ignored, matching the historical behaviour).
+
+    ``provided`` names the options the user actually typed, so
+    ``--resume`` can tell an explicit ``--jobs 4`` apart from the
+    default and let the manifest's settings snapshot fill the rest.
     """
     opts = {
         "jobs": 1,
@@ -89,13 +115,20 @@ def _parse_engine_flags(argv):
         "timeout": None,
         "retries": 0,
         "run_log": None,
+        "run_dir": None,
+        "resume": None,
+        "from_store": None,
     }
     valued = {
         "--jobs": ("jobs", int),
         "--timeout": ("timeout", float),
         "--retries": ("retries", int),
         "--run-log": ("run_log", str),
+        "--run-dir": ("run_dir", str),
+        "--resume": ("resume", str),
+        "--from-store": ("from_store", str),
     }
+    provided = set()
     rest = []
     it = iter(argv)
     for arg in it:
@@ -103,15 +136,50 @@ def _parse_engine_flags(argv):
         if name in valued:
             key, cast = valued[name]
             opts[key] = cast(inline if inline else next(it, ""))
+            provided.add(key)
         elif arg == "--no-cache":
             opts["use_cache"] = False
+            provided.add("use_cache")
         else:
             rest.append(arg)
-    return opts, rest
+    return opts, provided, rest
+
+
+def _resume_main(opts, provided, telemetry) -> int:
+    """``--resume DIR``: finish the manifest, no targets involved."""
+    from repro.experiments import store
+
+    rd = store.RunDirectory(opts["resume"])
+    telemetry.stream_to(rd.telemetry_path)
+    status = 0
+    try:
+        results = store.resume(
+            rd,
+            jobs=opts["jobs"] if "jobs" in provided else None,
+            timeout=opts["timeout"] if "timeout" in provided else None,
+            retries=opts["retries"] if "retries" in provided else None,
+            telemetry=telemetry,
+        )
+        print(f"resumed {rd.path}: {len(results)} result(s) complete")
+    except EngineError as exc:
+        status = 1
+        print(f"[resume FAILED] {exc}")
+    finally:
+        telemetry.close_stream()
+        rd.close()
+    return status
 
 
 def main(argv) -> int:
-    opts, argv = _parse_engine_flags(argv)
+    opts, provided, argv = _parse_engine_flags(argv)
+    telemetry = RunTelemetry()
+
+    if opts["resume"]:
+        status = _resume_main(opts, provided, telemetry)
+        if telemetry.records:
+            print(telemetry.summary_table())
+        return status
+
     names = [a for a in argv if not a.startswith("-")] or ["all"]
     if names == ["all"]:
         # `json` re-runs every sweep and writes a file; request it
@@ -126,7 +194,18 @@ def main(argv) -> int:
         if opts["use_cache"]
         else None
     )
-    telemetry = RunTelemetry()
+    run_dir = None
+    offline = False
+    if opts["from_store"]:
+        from repro.experiments.store import RunDirectory
+
+        run_dir = RunDirectory(opts["from_store"], readonly=True)
+        offline = True
+    elif opts["run_dir"]:
+        from repro.experiments.store import RunDirectory
+
+        run_dir = RunDirectory(opts["run_dir"])
+        telemetry.stream_to(run_dir.telemetry_path)
     prev = parallel.current_settings()
     parallel.configure(
         jobs=opts["jobs"],
@@ -134,6 +213,8 @@ def main(argv) -> int:
         timeout=opts["timeout"],
         retries=opts["retries"],
         telemetry=telemetry,
+        store=run_dir,
+        offline=offline,
     )
     status = 0
     try:
@@ -149,6 +230,9 @@ def main(argv) -> int:
             print(f"[{name} done in {time.time() - start:.1f}s]\n")
     finally:
         parallel.configure(**prev._asdict())
+        telemetry.close_stream()
+        if run_dir is not None and not offline:
+            run_dir.close()
     if telemetry.records:
         print(telemetry.summary_table())
     if opts["run_log"]:

@@ -5,6 +5,14 @@ figure's axes are) plus a ``render_*`` companion that prints the same
 rows/series the paper plots.  The benchmark harness under
 ``benchmarks/`` calls these with the paper's full parameter sweeps;
 the test suite calls them with reduced sizes.
+
+From-store rebuilds: every ``run_many``-backed generator accepts
+``store=`` / ``offline=`` (defaulting to the process-wide engine
+settings, i.e. whatever :func:`repro.experiments.store.served_from` or
+``configure(store=...)`` installed), so a figure can be rebuilt
+offline from a run directory without re-simulating.  ``figure10`` is
+the exception: it profiles per-set access counts on a live machine and
+never goes through the engine, so it has no from-store path.
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import FIG7_SCHEMES
-from repro.experiments.parallel import RunSpec, run_many
+from repro.experiments.parallel import _UNSET, RunSpec, run_many
 from repro.experiments.report import format_table
 from repro.experiments.runner import overhead
 from repro.workloads import WORKLOADS
@@ -26,7 +34,8 @@ FIG2_SIZES = (1000, 2000, 4000, 6000, 8000, 10000)
 
 
 def figure2(
-    sizes: Sequence[int] = FIG2_SIZES, seed: int = 1
+    sizes: Sequence[int] = FIG2_SIZES, seed: int = 1,
+    store=_UNSET, offline=_UNSET,
 ) -> Dict[int, Dict[str, float]]:
     """Software-CT overhead growth with the dataflow linearization set.
 
@@ -40,6 +49,8 @@ def figure2(
             for size in sizes
             for scheme in schemes
         ],
+        store=store,
+        offline=offline,
         label="fig2",
     )
     it = iter(results)
@@ -73,6 +84,8 @@ def figure7(
     workload: str,
     sizes: Optional[Sequence[int]] = None,
     seed: int = 1,
+    store=_UNSET,
+    offline=_UNSET,
 ) -> Dict[str, Dict[str, float]]:
     """One Fig. 7 panel: {label: {scheme: overhead}} for a workload."""
     descriptor = WORKLOADS[workload]
@@ -84,6 +97,8 @@ def figure7(
             for size in sizes
             for scheme in schemes
         ],
+        store=store,
+        offline=offline,
         label=f"fig7:{workload}",
     )
     it = iter(results)
@@ -132,7 +147,8 @@ FIG8_METRICS = (
 
 
 def figure8(
-    sizes: Optional[Sequence[int]] = None, seed: int = 1
+    sizes: Optional[Sequence[int]] = None, seed: int = 1,
+    store=_UNSET, offline=_UNSET,
 ) -> Dict[str, Dict[str, float]]:
     """Overhead-reduction ratios of CT over L1d BIA for dijkstra.
 
@@ -148,6 +164,8 @@ def figure8(
             for size in sizes
             for scheme in ("ct", "bia-l1d")
         ],
+        store=store,
+        offline=offline,
         label="fig8",
     )
     it = iter(results)
@@ -193,7 +211,8 @@ FIG9_CIPHERS = ("AES", "ARC2", "ARC4", "Blowfish", "CAST", "DES", "DES3", "XOR")
 
 
 def figure9(
-    ciphers: Sequence[str] = FIG9_CIPHERS, seed: int = 1
+    ciphers: Sequence[str] = FIG9_CIPHERS, seed: int = 1,
+    store=_UNSET, offline=_UNSET,
 ) -> Dict[str, Dict[str, float]]:
     """Crypto-library overheads: {cipher: {"bia-l1d": x, "ct": y}}."""
     schemes = ("insecure", "bia-l1d", "ct")
@@ -203,6 +222,8 @@ def figure9(
             for cipher in ciphers
             for scheme in schemes
         ],
+        store=store,
+        offline=offline,
         label="fig9",
     )
     it = iter(results)
@@ -334,6 +355,8 @@ def render_figure10(
 def headline_reduction(
     workloads: Optional[Sequence[str]] = None,
     seed: int = 1,
+    store=_UNSET,
+    offline=_UNSET,
 ) -> Dict[str, float]:
     """Geometric-mean CT/L1d-BIA overhead-reduction per workload + overall.
 
@@ -346,7 +369,7 @@ def headline_reduction(
     per_workload: Dict[str, float] = {}
     all_ratios: List[float] = []
     for name in names:
-        data = figure7(name, seed=seed)
+        data = figure7(name, seed=seed, store=store, offline=offline)
         ratios = [
             row["ct"] / row["bia-l1d"] for row in data.values() if row["bia-l1d"]
         ]

@@ -63,6 +63,19 @@ Telemetry: pass a :class:`~repro.experiments.telemetry.RunTelemetry`
 attempt plus progress callbacks; see that module for the JSONL run-log
 format.
 
+Durability (checkpoint/resume): pass a
+:class:`~repro.experiments.store.RunDirectory` (or bare
+:class:`~repro.experiments.store.ResultStore`) as ``store=``.  The
+batch's unique specs are registered in the sweep manifest *before*
+execution starts, every completed result is appended durably as its
+future completes (salvage-at-delivery included), and specs whose
+results are already durable are served from the store — telemetry
+outcome ``"stored"`` — without re-simulation.
+:func:`repro.experiments.store.resume` replays a manifest after a
+crash; ``offline=True`` turns a missing result into an
+:class:`~repro.errors.EngineError` instead of a simulation, which is
+how reports are rebuilt offline from a run directory.
+
 Process-global defaults (used by the CLI's ``--jobs`` / ``--no-cache``
 / ``--timeout`` / ``--retries`` flags) are set with :func:`configure`;
 explicit arguments always win.
@@ -389,10 +402,13 @@ class EngineSettings(NamedTuple):
     retries: int
     backoff: float
     telemetry: Optional[RunTelemetry]
+    store: Optional[object]
+    offline: bool
 
 
 class _Settings:
-    __slots__ = ("jobs", "cache", "timeout", "retries", "backoff", "telemetry")
+    __slots__ = ("jobs", "cache", "timeout", "retries", "backoff",
+                 "telemetry", "store", "offline")
 
     def __init__(self) -> None:
         self.jobs: int = 1
@@ -404,6 +420,10 @@ class _Settings:
         #: base of the exponential retry backoff, in seconds
         self.backoff: float = 0.05
         self.telemetry: Optional[RunTelemetry] = None
+        #: durable result store (RunDirectory/ResultStore) or None
+        self.store: Optional[object] = None
+        #: offline mode: missing results raise instead of simulating
+        self.offline: bool = False
 
 
 _settings = _Settings()
@@ -416,6 +436,8 @@ def configure(
     retries=_UNSET,
     backoff=_UNSET,
     telemetry=_UNSET,
+    store=_UNSET,
+    offline=_UNSET,
 ) -> None:
     """Set process-wide defaults for :func:`run_many`.
 
@@ -449,6 +471,10 @@ def configure(
         _settings.backoff = float(backoff)
     if telemetry is not _UNSET:
         _settings.telemetry = telemetry
+    if store is not _UNSET:
+        _settings.store = store
+    if offline is not _UNSET:
+        _settings.offline = bool(offline)
 
 
 def current_settings() -> EngineSettings:
@@ -460,6 +486,8 @@ def current_settings() -> EngineSettings:
         retries=_settings.retries,
         backoff=_settings.backoff,
         telemetry=_settings.telemetry,
+        store=_settings.store,
+        offline=_settings.offline,
     )
 
 
@@ -494,13 +522,15 @@ class _Task:
 class _BatchState:
     """Shared mutable state of one ``run_many`` batch."""
 
-    def __init__(self, cache, telemetry, label, timeout, retries, backoff):
+    def __init__(self, cache, telemetry, label, timeout, retries, backoff,
+                 store=None):
         self.cache = cache
         self.telemetry = telemetry
         self.label = label
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.store = store
         self.results: Dict[str, RunResult] = {}
         self.failures: List[SpecFailure] = []
 
@@ -530,6 +560,14 @@ class _BatchState:
         )
 
     def record_cache_hit(self, spec: RunSpec, key: str) -> None:
+        self._record_served(spec, key, "cached", True, "cache")
+
+    def record_store_hit(self, spec: RunSpec, key: str) -> None:
+        """Spec served from the durable store: no simulation ran."""
+        self._record_served(spec, key, "stored", False, "store")
+
+    def _record_served(self, spec: RunSpec, key: str, outcome: str,
+                       cache_hit: bool, mode: str) -> None:
         if self.telemetry is None:
             return
         self.telemetry.record(
@@ -540,12 +578,12 @@ class _BatchState:
                 seed=spec.seed,
                 kind=spec.kind,
                 key=key,
-                outcome="cached",
+                outcome=outcome,
                 attempt=0,
                 wall_time=0.0,
                 error=None,
-                cache_hit=True,
-                mode="cache",
+                cache_hit=cache_hit,
+                mode=mode,
                 label=self.label,
             )
         )
@@ -554,10 +592,18 @@ class _BatchState:
 
     def deliver(self, task: _Task, result: RunResult, wall: float,
                 mode: str) -> None:
-        """A spec completed: salvage it into cache + results *now*."""
+        """A spec completed: salvage it into cache + store *now*.
+
+        Streaming delivery is the crash-safety half of the store
+        contract: the result becomes durable the moment its future
+        completes, not when the batch drains, so a later pool death
+        (or host reboot) cannot take it back.
+        """
         self.results[task.key] = result
         if self.cache is not None:
             self.cache.put(task.key, result)
+        if self.store is not None:
+            self.store.put(task.key, result, spec=task.spec)
         self.record(task, "ok", wall, None, mode)
 
     def attempt_failed(self, task: _Task, kind: str, error: str,
@@ -811,6 +857,8 @@ def run_many(
     retries=_UNSET,
     backoff=_UNSET,
     telemetry=_UNSET,
+    store=_UNSET,
+    offline=_UNSET,
     label: Optional[str] = None,
 ) -> List[RunResult]:
     """Execute ``specs``, returning results in the same order.
@@ -826,6 +874,17 @@ def run_many(
     :class:`~repro.errors.EngineError` is raised carrying the per-spec
     failure log and the salvaged results.  ``label`` tags this batch's
     telemetry records (figures/tables pass their target name).
+
+    Durability: with ``store=`` (a :class:`~repro.experiments.store.
+    RunDirectory` or :class:`~repro.experiments.store.ResultStore`)
+    the batch's unique specs are registered in the sweep manifest
+    before execution, completed results are appended durably as they
+    arrive, and already-durable specs are served from the store
+    without re-simulation.  ``offline=True`` forbids simulation: a
+    spec not served by the cache or store raises an
+    :class:`~repro.errors.EngineError` whose failures have kind
+    ``"missing"`` (used to rebuild reports offline from a run
+    directory).
     """
     if jobs is _UNSET:
         jobs = _settings.jobs
@@ -839,6 +898,11 @@ def run_many(
         backoff = _settings.backoff
     if telemetry is _UNSET:
         telemetry = _settings.telemetry
+    if store is _UNSET:
+        store = _settings.store
+    if offline is _UNSET:
+        offline = _settings.offline
+    offline = bool(offline)
     if jobs is None or int(jobs) < 1:
         raise ConfigurationError(f"jobs must be a positive int: {jobs!r}")
     jobs = int(jobs)
@@ -848,30 +912,74 @@ def run_many(
         )
     retries = int(retries)
 
-    state = _BatchState(cache, telemetry, label, timeout, retries, backoff)
+    state = _BatchState(
+        cache, telemetry, label, timeout, retries, backoff,
+        store=None if offline else store,
+    )
 
     keys = [spec.key() for spec in specs]
     tasks: List[_Task] = []
     cached_hits: List = []  # (spec, key) pairs served from cache
+    stored_hits: List = []  # (spec, key) pairs served from the store
+    unique: List = []  # (spec, key) pairs, dedup'd, submission order
     seen: set = set()  # O(1) dedup membership (keeps `tasks` ordered)
     for spec, key in zip(specs, keys):
         if key in seen:
             continue
         seen.add(key)
+        unique.append((spec, key))
         if cache is not None:
             hit = cache.get(key)
             if hit is not None:
                 state.results[key] = hit
                 cached_hits.append((spec, key))
+                # a cache hit still becomes durable: the store must end
+                # the batch spec-complete or a resume would re-simulate
+                if store is not None and not offline and key not in store:
+                    store.put(key, hit, spec=spec)
+                continue
+        if store is not None:
+            hit = store.get(key)
+            if hit is not None:
+                state.results[key] = hit
+                stored_hits.append((spec, key))
                 continue
         tasks.append(_Task(spec, key))
 
+    # The manifest is written before the first simulation starts, so a
+    # crash at any later point leaves enough on disk to resume from.
+    if store is not None and not offline:
+        register = getattr(store, "register_specs", None)
+        if register is not None:
+            register(
+                unique,
+                settings={
+                    "jobs": jobs,
+                    "timeout": timeout,
+                    "retries": retries,
+                    "backoff": backoff,
+                },
+            )
+
     if telemetry is not None:
-        telemetry.expect(len(cached_hits) + len(tasks))
+        telemetry.expect(len(cached_hits) + len(stored_hits) + len(tasks))
     for spec, key in cached_hits:
         state.record_cache_hit(spec, key)
+    for spec, key in stored_hits:
+        state.record_store_hit(spec, key)
 
-    if tasks:
+    if tasks and offline:
+        for task in tasks:
+            state.failures.append(
+                SpecFailure(
+                    spec=task.spec,
+                    key=task.key,
+                    kind="missing",
+                    attempts=0,
+                    error="result not in the store (offline rebuild)",
+                )
+            )
+    elif tasks:
         if jobs > 1 and len(tasks) > 1:
             leftover = _run_pool(tasks, jobs, state)
         else:
@@ -895,6 +1003,7 @@ def parallel_sweep(
     seed: int = 1,
     jobs=_UNSET,
     cache=_UNSET,
+    store=_UNSET,
     label: Optional[str] = None,
 ) -> Dict[int, Dict[str, RunResult]]:
     """Sizes x schemes sweep with the same shape as ``runner.sweep``."""
@@ -904,7 +1013,11 @@ def parallel_sweep(
         for scheme in schemes
     ]
     results = run_many(
-        specs, jobs=jobs, cache=cache, label=label or f"sweep:{workload}"
+        specs,
+        jobs=jobs,
+        cache=cache,
+        store=store,
+        label=label or f"sweep:{workload}",
     )
     it = iter(results)
     return {

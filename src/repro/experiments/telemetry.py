@@ -21,6 +21,10 @@ Outcomes
 ``cached``
     Served from the :class:`~repro.experiments.parallel.ResultCache`;
     no simulation ran.
+``stored``
+    Served from the durable :class:`~repro.experiments.store.
+    ResultStore` of a run directory (checkpoint/resume); no simulation
+    ran.  This is how a resumed sweep proves which specs it skipped.
 ``ok``
     The attempt completed and its result was accepted.
 ``retry``
@@ -41,14 +45,20 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 #: Outcomes that end a spec's run (used for progress accounting).
-FINAL_OUTCOMES = frozenset({"cached", "ok", "failed", "timeout", "crash"})
+FINAL_OUTCOMES = frozenset(
+    {"cached", "stored", "ok", "failed", "timeout", "crash"}
+)
 
 #: Outcomes that count as failures in the summary.
 FAILURE_OUTCOMES = frozenset({"failed", "timeout", "crash"})
+
+#: Outcomes served without simulation (cache or durable store).
+SERVED_OUTCOMES = frozenset({"cached", "stored"})
 
 
 @dataclass
@@ -66,7 +76,7 @@ class RunRecord:
     wall_time: float = 0.0
     error: Optional[str] = None
     cache_hit: bool = False
-    mode: str = "inline"  # "inline" | "pool"
+    mode: str = "inline"  # "inline" | "pool" | "cache" | "store"
     label: Optional[str] = None
 
     def to_json(self) -> str:
@@ -99,6 +109,8 @@ class RunTelemetry:
         self.progress = progress
         self._done = 0
         self._expected = 0
+        self._stream = None
+        self.stream_path: Optional[str] = None
 
     # -- engine-facing API -------------------------------------------------
 
@@ -108,10 +120,36 @@ class RunTelemetry:
 
     def record(self, rec: RunRecord) -> None:
         self.records.append(rec)
+        if self._stream is not None:
+            self._stream.write(rec.to_json())
+            self._stream.write("\n")
+            self._stream.flush()
         if rec.outcome in FINAL_OUTCOMES:
             self._done += 1
             if self.progress is not None:
                 self.progress(rec, self._done, self._expected)
+
+    # -- streaming run log -------------------------------------------------
+
+    def stream_to(self, path: str) -> None:
+        """Append every future record to ``path`` as it is recorded.
+
+        The run log grows durable *during* the sweep (crash-safe: a
+        torn final line is skipped by :meth:`read_jsonl`), instead of
+        existing only if the process survives to ``export_jsonl``.
+        Appending to an existing log preserves earlier runs' records —
+        the run directory's ``telemetry.jsonl`` accumulates across
+        resume invocations.
+        """
+        self.close_stream()
+        self._stream = open(path, "a", encoding="utf-8")
+        self.stream_path = path
+
+    def close_stream(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+            self.stream_path = None
 
     # -- aggregates --------------------------------------------------------
 
@@ -124,9 +162,17 @@ class RunTelemetry:
         return self._expected
 
     def attempts_for(self, key: str) -> int:
-        """How many simulation attempts spec ``key`` consumed."""
+        """How many simulation attempts spec ``key`` consumed.
+
+        Records served without simulation (``cached``/``stored``) do
+        not count — a resumed sweep's durable specs report 0 attempts.
+        """
         return sum(
-            1 for r in self.records if r.key == key and not r.cache_hit
+            1
+            for r in self.records
+            if r.key == key
+            and not r.cache_hit
+            and r.outcome not in SERVED_OUTCOMES
         )
 
     def summary(self) -> Dict[str, float]:
@@ -134,10 +180,15 @@ class RunTelemetry:
         by_outcome: Dict[str, int] = {}
         for rec in self.records:
             by_outcome[rec.outcome] = by_outcome.get(rec.outcome, 0) + 1
-        simulated = [r for r in self.records if not r.cache_hit]
+        simulated = [
+            r
+            for r in self.records
+            if not r.cache_hit and r.outcome not in SERVED_OUTCOMES
+        ]
         return {
             "specs": self._done,
             "cached": by_outcome.get("cached", 0),
+            "stored": by_outcome.get("stored", 0),
             "ok": by_outcome.get("ok", 0),
             "retries": by_outcome.get("retry", 0),
             "failed": sum(by_outcome.get(o, 0) for o in FAILURE_OUTCOMES),
@@ -153,6 +204,7 @@ class RunTelemetry:
         rows = [
             ("specs completed", s["specs"]),
             ("cache hits", s["cached"]),
+            ("store hits", s["stored"]),
             ("simulated ok", s["ok"]),
             ("retries", s["retries"]),
             ("failed", s["failed"]),
@@ -165,23 +217,65 @@ class RunTelemetry:
 
     # -- JSONL run log -----------------------------------------------------
 
-    def export_jsonl(self, path: str) -> int:
-        """Write one JSON object per record; returns the record count."""
-        with open(path, "w", encoding="utf-8") as fh:
+    def export_jsonl(self, path: str, append: bool = False) -> int:
+        """Write one JSON object per record; returns the record count.
+
+        The default is a *whole-file, atomic* export: records are
+        written to a temporary sibling and renamed into place, so a
+        crash (or a concurrent reader) never observes a truncated or
+        half-overwritten log, and a mid-sweep re-export can no longer
+        destroy the previous run log the way the old ``open(path,
+        "w")`` did.  ``append=True`` instead appends this telemetry's
+        records to an existing log — the path the streaming store uses
+        to accumulate one run directory's log across resumes.
+        """
+        if append:
+            with open(path, "a", encoding="utf-8") as fh:
+                for rec in self.records:
+                    fh.write(rec.to_json())
+                    fh.write("\n")
+            return len(self.records)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
             for rec in self.records:
                 fh.write(rec.to_json())
                 fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
         return len(self.records)
 
     @staticmethod
-    def read_jsonl(path: str) -> List[RunRecord]:
-        """Load a run log written by :meth:`export_jsonl`."""
+    def read_jsonl(
+        path: str, with_stats: bool = False
+    ) -> Union[List[RunRecord], Tuple[List[RunRecord], int]]:
+        """Load a run log written by :meth:`export_jsonl` / streaming.
+
+        Tolerates a truncated *final* line — the signature of a crash
+        mid-append — by returning the valid prefix; corruption anywhere
+        else still raises.  With ``with_stats=True`` the return value
+        is ``(records, skipped_bytes)`` so callers can report how much
+        of the log's tail was torn off.
+        """
         records: List[RunRecord] = []
-        with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    records.append(RunRecord.from_json(line))
+        skipped = 0
+        with open(path, "rb") as fh:
+            chunks = fh.read().split(b"\n")
+        last_nonempty = max(
+            (i for i, c in enumerate(chunks) if c.strip()), default=-1
+        )
+        for i, chunk in enumerate(chunks):
+            if not chunk.strip():
+                continue
+            try:
+                records.append(RunRecord.from_json(chunk.decode("utf-8")))
+            except (ValueError, TypeError, UnicodeDecodeError):
+                if i == last_nonempty:
+                    skipped = len(chunk)
+                    break
+                raise
+        if with_stats:
+            return records, skipped
         return records
 
     def reset(self) -> None:

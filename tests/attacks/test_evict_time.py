@@ -47,3 +47,46 @@ class TestEvictTime:
         attacker = EvictTimeAttacker(machine, "L1D")
         attacker.evict_set(3)
         assert machine.l1d.set_contents(3) == []
+
+
+class TestEvictionWritebackCost:
+    """Evict+Time observes the dirty-write-back latency of its evictions.
+
+    Regression: `evict_set` used to discard the latency that
+    `attacker_evict` (and `CacheHierarchy.evict_line_from` beneath it)
+    incurred writing dirty victim lines back, so the attacker's own
+    eviction cost — a dirtiness side channel — was invisible.
+    """
+
+    def test_clean_set_evicts_for_free(self):
+        machine = small_machine()
+        machine.load_word(0x10000 + 3 * LINE)
+        attacker = EvictTimeAttacker(machine, "L1D")
+        assert attacker.evict_set(3) == 0
+
+    def test_dirty_set_eviction_pays_the_writeback(self):
+        machine = small_machine()
+        addr = 0x10000 + 3 * LINE
+        machine.store_word(addr, 7)  # dirty in the L1d
+        # strip the clean lower-level copies: the write-back must go
+        # all the way to DRAM, where its latency is unmistakable
+        machine.l2.invalidate(addr)
+        machine.llc.invalidate(addr)
+        attacker = EvictTimeAttacker(machine, "L1D")
+        cost = attacker.evict_set(3)
+        assert cost == machine.dram.latency
+        assert machine.l1d.set_contents(3) == []
+
+    def test_writeback_cost_separates_written_from_read_sets(self):
+        """The dirtiness signal end to end: identical eviction sweeps
+        over a read set and a written set time differently."""
+        machine = small_machine()
+        read_addr = 0x10000 + 5 * LINE
+        write_addr = 0x10000 + 9 * LINE
+        machine.load_word(read_addr)
+        machine.store_word(write_addr, 1)
+        for addr in (read_addr, write_addr):
+            machine.l2.invalidate(addr)
+            machine.llc.invalidate(addr)
+        attacker = EvictTimeAttacker(machine, "L1D")
+        assert attacker.evict_set(9) > attacker.evict_set(5) == 0

@@ -66,3 +66,25 @@ class TestAgainstMitigations:
         b = self._touched(BIAContext, 200)
         assert a == b
         assert len(a) == 16
+
+
+class TestFlushLatencySignal:
+    """`flush()` reports per-line clflush latencies (the Flush+Flush
+    signal): a dirty line's flush pays the DRAM write-back, a clean or
+    absent line's flush is free."""
+
+    def test_flush_latencies_mark_victim_written_lines(self):
+        machine = Machine(MachineConfig())
+        read_line = 0x10000
+        written_line = 0x10040
+        machine.load_word(read_line)
+        machine.store_word(written_line, 9)
+        attacker = FlushReloadAttacker(
+            machine, [read_line, written_line, 0x20000]
+        )
+        latencies = attacker.flush()
+        assert latencies[written_line] == machine.dram.latency
+        assert latencies[read_line] == 0
+        assert latencies[0x20000] == 0  # never cached
+        # second flush: everything is gone, all free
+        assert set(attacker.flush().values()) == {0}

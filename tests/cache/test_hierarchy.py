@@ -159,3 +159,44 @@ class TestConfig:
         h.reset_stats()
         assert h.levels[0].stats.accesses == 0
         assert h.dram.stats.accesses == 0
+
+
+class TestEvictResultLatency:
+    """Targeted evictions report their dirty-write-back latency."""
+
+    def test_result_truthiness_matches_presence(self):
+        h = build()
+        h.read_line(0x1000)
+        hit = h.evict_line_from("L1D", 0x1000)
+        miss = h.evict_line_from("L1D", 0x2000)
+        assert bool(hit) and not bool(miss)
+        assert miss.latency == 0
+
+    def test_clean_evict_costs_nothing(self):
+        h = build()
+        h.read_line(0x1000)
+        assert h.evict_line_from("L1D", 0x1000).latency == 0
+
+    def test_dirty_evict_absorbed_by_lower_level_costs_nothing(self):
+        h = build()
+        h.write_line(0x1000)  # dirty in L1D, clean copy in L2
+        result = h.evict_line_from("L1D", 0x1000)
+        assert result and result.latency == 0  # write-back hit the L2
+        assert h.levels[1].is_dirty(0x1000)
+
+    def test_dirty_evict_with_no_lower_copy_pays_dram_write(self):
+        h = build()
+        h.write_line(0x1000)
+        h.levels[1].invalidate(0x1000)  # L2 no longer holds the line
+        writes_before = h.dram.stats.writes
+        result = h.evict_line_from("L1D", 0x1000)
+        assert result
+        assert result.latency == 200  # the DRAM write-back
+        assert h.dram.stats.writes == writes_before + 1
+
+    def test_dirty_evict_from_last_level_pays_dram_write(self):
+        h = build()
+        h.write_line(0x1000)
+        h.levels[0].invalidate(0x1000)
+        h.levels[1].set_dirty(0x1000)  # dirty now lives in the L2
+        assert h.evict_line_from("L2", 0x1000).latency == 200

@@ -197,3 +197,45 @@ class TestDRAMPolicy:
         m.load_word_uncached(0x10040)  # same row, but freshly precharged
         assert m.stats.cycles == m.dram.latency
         assert m.dram.stats.row_conflicts == 1
+
+
+class TestAttackerLatencySignals:
+    """The attacker API returns the latencies its primitives cost.
+
+    Regression: `attacker_flush` used to drop the dirty-write-back
+    latency `flush_line` returns, and `attacker_evict` collapsed its
+    eviction to a bare bool — so Flush+Reload / Evict+Time models
+    could never observe write-back cost.
+    """
+
+    def test_flush_of_dirty_line_returns_writeback_latency(self, machine):
+        machine.store_word(0x10000, 7)  # dirty in the L1d
+        latency = machine.attacker_flush(0x10000)
+        assert latency == machine.dram.latency
+        assert machine.hierarchy.where(0x10000) == []
+
+    def test_flush_of_clean_or_absent_line_is_free(self, machine):
+        machine.load_word(0x10000)
+        assert machine.attacker_flush(0x10000) == 0
+        assert machine.attacker_flush(0x20000) == 0  # never cached
+
+    def test_flush_latency_distinguishes_dirty_from_clean(self, machine):
+        """The Flush+Flush signal: flush timing alone separates a line
+        the victim wrote from one it only read."""
+        machine.load_word(0x10000)   # victim read
+        machine.store_word(0x20000, 1)  # victim write
+        read_line = machine.attacker_flush(0x10000)
+        written_line = machine.attacker_flush(0x20000)
+        assert written_line > read_line == 0
+
+    def test_evict_returns_result_with_latency(self, machine):
+        machine.store_word(0x10000, 7)
+        # drop the clean lower-level copies so the dirty L1d line has
+        # nowhere to land but DRAM
+        machine.l2.invalidate(0x10000)
+        machine.llc.invalidate(0x10000)
+        result = machine.attacker_evict("L1D", 0x10000)
+        assert result  # evicted: truthy, as before
+        assert result.latency == machine.dram.latency
+        absent = machine.attacker_evict("L1D", 0x10000)
+        assert not absent and absent.latency == 0

@@ -231,3 +231,74 @@ def test_configure_rejects_bad_jobs():
         parallel.configure(jobs=0)
     with pytest.raises(ConfigurationError):
         run_many([RunSpec("histogram", 200)], jobs=-1)
+
+
+# ---------------------------------------------------------------------------
+# cache keying vs the warm-start pool prefix
+# ---------------------------------------------------------------------------
+
+
+class TestWarmPoolKeying:
+    """`RunSpec.key()` vs the `MachineTemplatePool` prefix.
+
+    The pool reuses one machine per `(scheme, config, fetch_threshold)`
+    prefix; the cache keys on the *full* spec.  Two hazards follow.
+    Every config field — `replacement_seed` included — is part of the
+    prefix because the whole `MachineConfig` is a prefix component, so
+    a changed field must build a new pooled machine AND a new cache
+    key; and fields *outside* the prefix (seed, size) legitimately
+    share a pooled machine but must still get distinct cache keys.  A
+    stale pooled template or cached result in either case would
+    silently corrupt a sweep.
+    """
+
+    def test_replacement_seed_changes_key_and_pool_entry(self):
+        from repro.core.machine import MachineConfig
+        from repro.experiments.parallel import use_warm_pool
+
+        spec_a = RunSpec(
+            "histogram", 200, "insecure",
+            config=MachineConfig(replacement_seed=0),
+        )
+        spec_b = RunSpec(
+            "histogram", 200, "insecure",
+            config=MachineConfig(replacement_seed=123),
+        )
+        # distinct cache keys: a cached result can never cross over
+        assert spec_a.key() != spec_b.key()
+        try:
+            use_warm_pool(False)
+            fresh = [spec_a.run(), spec_b.run()]
+            pool = use_warm_pool(True)
+            pooled = [spec_a.run(), spec_b.run()]
+            # distinct prefixes: two builds, no template sharing
+            assert pool.stats.builds == 2
+            assert pool.stats.reuses == 0
+            # and re-running restores each spec's own template
+            again = [spec_a.run(), spec_b.run()]
+            assert pool.stats.reuses == 2
+        finally:
+            use_warm_pool(True)
+        for f, p, a in zip(fresh, pooled, again):
+            assert f.counters == p.counters == a.counters
+            assert f.output == p.output == a.output
+
+    def test_shared_prefix_reuses_machine_but_not_results(self, tmp_path):
+        """Seeds share a pooled machine (same prefix) yet must never
+        share a cached result (different full key)."""
+        from repro.experiments.parallel import use_warm_pool
+
+        spec_s1 = RunSpec("histogram", 200, "insecure", seed=1)
+        spec_s2 = RunSpec("histogram", 200, "insecure", seed=2)
+        assert spec_s1.key() != spec_s2.key()
+        cache = ResultCache(str(tmp_path / "c"))
+        try:
+            pool = use_warm_pool(True)
+            results = run_many([spec_s1, spec_s2], cache=cache)
+            assert pool.stats.builds == 1  # one template...
+            assert cache.stats.stores == 2  # ...two distinct results
+        finally:
+            use_warm_pool(True)
+        assert results[0].counters != results[1].counters or (
+            results[0].output != results[1].output
+        )
