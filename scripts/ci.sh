@@ -8,7 +8,12 @@
 #      constant-time checker over every built-in IR program and every
 #      workload's registered DS linearization sets (exits 1 on
 #      error-severity findings)
-#   4. a perf sanity pass: `python -m repro bench --repeats 1` (single
+#   4. the symbolic relational smoke (scripts/symrel_smoke.py):
+#      every builtin's native variant must be refuted with a
+#      replay-confirmed secret pair (or, for the speculative fixture,
+#      refuted only by the speculative pass) and every mitigated
+#      variant proved
+#   5. a perf sanity pass: `python -m repro bench --repeats 1` (single
 #      repeat — a smoke that the measured hot paths still run, not a
 #      stable throughput number; scripts/bench.sh records those)
 #
@@ -30,6 +35,9 @@ python -m pytest tests/ -q "$@"
 
 echo "== constant-time check (python -m repro ctcheck --all)"
 python -m repro ctcheck --all
+
+echo "== symbolic relational smoke (scripts/symrel_smoke.py)"
+python scripts/symrel_smoke.py
 
 echo "== perf smoke (python -m repro bench --repeats 1)"
 python -m repro bench --repeats 1

@@ -7,6 +7,12 @@
 #     workload's registered dataflow linearization sets (exits 1 on
 #     error-severity findings such as DS-COVERAGE).
 #
+# The symbolic relational checker is NOT part of the default gate here
+# (its CT-REL findings for the intentionally-leaky native builtins
+# exit 1 by design); run it explicitly with
+#   scripts/lint.sh --symbolic --spec-window 2
+# or assert the expected verdict matrix with scripts/symrel_smoke.py.
+#
 # Usage: scripts/lint.sh [extra ctcheck args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."

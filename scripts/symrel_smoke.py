@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""CI smoke for the symbolic relational checker.
+
+``ctcheck --symbolic`` exits 1 whenever a *native* variant leaks —
+which is true for almost every builtin by design — so the plain exit
+code cannot gate CI.  This script asserts the *expected verdict
+matrix* instead:
+
+* every builtin's mitigated variant is **proved** (sequentially and
+  speculatively);
+* every builtin whose native variant is expected to leak is **refuted**
+  with a concrete secret pair whose sanitizer replay confirms a
+  nonempty trace diff;
+* ``speculative_lookup`` is the spec-gap witness: native variant
+  proved sequentially, refuted only by the speculative pass.
+
+Exit code 0 iff the whole matrix holds.  Run from the repo root:
+``PYTHONPATH=src python scripts/symrel_smoke.py``.
+"""
+
+import sys
+
+from repro.analysis.api import BUILTIN_PROGRAM_SPECS
+from repro.analysis.symrel import check_program_relational
+
+#: builtins whose native variant is sequentially constant-time (the
+#: leak, if any, is speculative-only).
+SEQUENTIALLY_SAFE = {"speculative_lookup"}
+
+SPEC_WINDOW = 2
+
+
+def main() -> int:
+    failures = []
+    for name in sorted(BUILTIN_PROGRAM_SPECS):
+        program = BUILTIN_PROGRAM_SPECS[name]()
+
+        native = check_program_relational(
+            program, mitigate=False, spec_window=SPEC_WINDOW, replay=True
+        )
+        if name in SEQUENTIALLY_SAFE:
+            if native.verdict != "proved":
+                failures.append(
+                    f"{name}: native expected proved, got {native.verdict}"
+                )
+            if native.spec_verdict != "refuted":
+                failures.append(
+                    f"{name}: native speculative pass expected refuted, "
+                    f"got {native.spec_verdict}"
+                )
+        else:
+            if native.verdict != "refuted":
+                failures.append(
+                    f"{name}: native expected refuted, got {native.verdict}"
+                )
+            elif native.replay is None or not native.replay.confirmed:
+                failures.append(
+                    f"{name}: counterexample replay did not confirm "
+                    f"({native.replay.describe() if native.replay else 'no replay'})"
+                )
+
+        mitigated = check_program_relational(
+            program, mitigate=True, spec_window=SPEC_WINDOW, replay=False
+        )
+        if mitigated.verdict != "proved":
+            failures.append(
+                f"{name}: mitigated expected proved, got {mitigated.verdict}"
+            )
+        if mitigated.spec_verdict != "proved":
+            failures.append(
+                f"{name}: mitigated speculative pass expected proved, "
+                f"got {mitigated.spec_verdict}"
+            )
+        print(
+            f"  {name:20s} native={native.verdict}"
+            + (
+                f"/spec:{native.spec_verdict}"
+                if native.spec_verdict is not None
+                else ""
+            )
+            + f" mitigated={mitigated.verdict}"
+            + (
+                " replay=confirmed"
+                if native.replay is not None and native.replay.confirmed
+                else ""
+            )
+        )
+    if failures:
+        print("symrel smoke FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"symrel smoke passed: {len(BUILTIN_PROGRAM_SPECS)} program(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

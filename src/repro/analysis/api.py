@@ -31,18 +31,27 @@ from repro.lang.programs import (
     conditional_sum_program,
     histogram_program,
     lookup_program,
+    masked_lookup_program,
+    speculative_lookup_program,
     swap_program,
 )
 
 #: Builders for every built-in program, at checking-friendly sizes.
 #: (Interval bounds do not depend on the concrete sizes; these keep
 #: the pretty-printed diagnostics small.)  Tests monkeypatch entries
-#: in here to drive the CLI over synthetic programs.
+#: in here to drive the CLI over synthetic programs.  Sizes are chosen
+#: so every program's secret-indexed footprint spans multiple cache
+#: lines — the symbolic relational checker (and the line-granularity
+#: attacker it models) can only distinguish secrets that reach
+#: different lines, so a 16-word array (one 64-byte line) would make
+#: the native leak invisible by accident rather than by mitigation.
 BUILTIN_PROGRAM_SPECS: Dict[str, Callable[[], ir.Program]] = {
     "lookup": lambda: lookup_program(64)[0],
     "histogram": lambda: histogram_program(16, 8)[0],
     "conditional_sum": lambda: conditional_sum_program(8)[0],
-    "swap": lambda: swap_program(16)[0],
+    "swap": lambda: swap_program(64)[0],
+    "masked_lookup": lambda: masked_lookup_program(64)[0],
+    "speculative_lookup": lambda: speculative_lookup_program(64)[0],
 }
 
 
@@ -225,12 +234,24 @@ def run_ctcheck(
     workloads: Optional[Sequence[str]] = None,
     include_workloads: bool = True,
     seed: int = 1,
+    symbolic: bool = False,
+    spec_window: int = 0,
+    replay: bool = True,
 ) -> CTCheckResult:
     """Check built-in IR programs and/or workload DS registrations.
 
     ``programs``/``workloads`` default to *all* registered ones;
     ``include_workloads=False`` skips the (slower, dynamic) workload
     audits entirely when only program names were requested.
+
+    ``symbolic=True`` additionally runs the static relational checker
+    (:mod:`repro.analysis.symrel`) over each IR program's native and
+    mitigated variants — expect ``CT-REL`` errors for every builtin
+    whose *native* variant leaks (that is the point of the builtins),
+    so the exit code is 1 by design there; the mitigated variants are
+    expected to come back ``CT-PROVED``.  ``spec_window > 0`` enables
+    the speculative pass; ``replay=False`` skips sanitizer replays of
+    counterexamples (faster, less evidence).
     """
     from repro.workloads import WORKLOADS
 
@@ -242,6 +263,14 @@ def run_ctcheck(
     for name in program_names:
         program = registry[name]()
         result.findings.extend(check_program(program))
+        if symbolic:
+            from repro.analysis.symrel import symrel_findings
+
+            result.findings.extend(
+                symrel_findings(
+                    program, spec_window=spec_window, replay=replay
+                )
+            )
         result.checked.append(f"program:{name}")
     if include_workloads:
         workload_names = (

@@ -107,6 +107,26 @@ RULES: Dict[str, Tuple[str, str]] = {
         "secret-condition select (branchless by construction)",
     ),
     "CT-SUMMARY": ("info", "per-program transformation totals"),
+    "CT-REL": (
+        "error",
+        "relational symbolic execution found a concrete secret pair "
+        "the attacker can distinguish",
+    ),
+    "CT-SPEC": (
+        "warning",
+        "sequentially constant-time but leaks under speculative "
+        "(mispredicted-branch) execution",
+    ),
+    "CT-PROVED": (
+        "info",
+        "relational symbolic execution proved constant-time over all "
+        "inputs",
+    ),
+    "CT-UNKNOWN": (
+        "warning",
+        "relational symbolic check inconclusive (exploration or "
+        "solver budget exhausted)",
+    ),
 }
 
 
@@ -196,6 +216,10 @@ class _Linter:
         self._walk(self.program.body, under_secret=False)
         self._check_dead_mitigations()
         self._summarize()
+        # Dedupe identical findings (a statement revisited through two
+        # abstract paths emits twice), then sort by (severity, rule,
+        # location) — ``ctcheck --json`` output is byte-stable.
+        self.findings = list(dict.fromkeys(self.findings))
         self.findings.sort(
             key=lambda f: (
                 -SEVERITY_ORDER.index(f.severity),

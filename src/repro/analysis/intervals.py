@@ -35,7 +35,7 @@ bounds, and those transfer functions are exact here.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import params
@@ -237,13 +237,26 @@ class IntervalReport:
     to the join of its index interval over all abstract visits;
     ``access_paths`` carries the stable path for each (for
     diagnostics); ``final_env`` is the register environment at program
-    exit.
+    exit; ``for_count_intervals`` maps ``id(stmt)`` of every ``For``
+    to the bound on its trip count (the symbolic checker reads these
+    as unroll limits for loops with non-constant counts).
     """
 
     program: ir.Program
     access_intervals: Dict[int, Interval]
     access_paths: Dict[int, str]
     final_env: Env
+    for_count_intervals: Dict[int, Interval] = field(default_factory=dict)
+
+    def trip_count_interval(self, stmt) -> Interval:
+        """The trip-count bound of one ``For`` statement."""
+        try:
+            return self.for_count_intervals[id(stmt)]
+        except KeyError:
+            raise KeyError(
+                f"statement {stmt!r} is not an analyzed loop of "
+                f"{self.program.name!r}"
+            ) from None
 
     def index_interval(self, stmt) -> Interval:
         """The index bound of one ``Load``/``Store`` statement."""
@@ -279,6 +292,7 @@ class _Interpreter:
     def __init__(self, program: ir.Program) -> None:
         self.program = program
         self.accesses: Dict[int, Interval] = {}
+        self.for_counts: Dict[int, Interval] = {}
 
     # -- operand evaluation ------------------------------------------------
 
@@ -362,6 +376,10 @@ class _Interpreter:
 
     def _exec_for(self, stmt: ir.For, env: Env) -> None:
         count = self._value(env, stmt.count)
+        prev = self.for_counts.get(id(stmt))
+        self.for_counts[id(stmt)] = (
+            count if prev is None else prev.join(count)
+        )
         if count.hi <= 0:
             # The loop can only run zero times; var untouched.
             return
@@ -411,6 +429,7 @@ class _Interpreter:
                 if sid in self.accesses
             },
             final_env=final_env,
+            for_count_intervals=dict(self.for_counts),
         )
 
 

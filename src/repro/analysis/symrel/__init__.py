@@ -1,0 +1,59 @@
+"""Static relational symbolic execution over the mini-IR.
+
+The dynamic sanitizer (:mod:`repro.analysis.sanitizer`) can only
+*observe* a leak on the concrete secrets it was given; ``ctlint`` can
+only flag one *syntactically*.  This package closes the gap with a
+Binsec/Rel-style static relational checker: two symbolic executions
+with low-equivalent public inputs and paired symbolic secrets run in
+lockstep, every attacker observable (line-granularity access
+addresses, branch directions) becomes a constraint, and a built-in
+bit-level solver either **proves** each observation pair equal over
+all inputs or produces a **concrete secret pair** that an attacker
+could distinguish — which is then replayed through the dynamic
+sanitizer for an end-to-end confirmed trace diff.
+
+A bounded speculative mode additionally explores mispredicted branch
+directions (Spectre-style transient execution) up to a configurable
+window, catching leaks that are sequentially unreachable — the
+distinction Cauligi et al. draw between sequential and speculative
+constant-time.
+
+Modules
+-------
+
+``expr``      interned 32-bit bitvector terms: simplifier, value
+              bounds, evaluator, bit-influence analysis
+``solve``     the built-in constraint solver (structural equality,
+              exhaustive enumeration over influential bits, directed
+              candidate search)
+``explore``   the relational path explorer (lockstep self-composition,
+              loop unrolling from interval facts, linearized secret
+              branches in mitigated mode, speculative windows)
+``check``     orchestration: verdicts, concrete relational models,
+              ``ctlint``-style findings (CT-REL / CT-SPEC /
+              CT-PROVED / CT-UNKNOWN)
+``replay``    counterexample replay through the dynamic sanitizer
+"""
+
+from repro.analysis.symrel.check import (
+    RelationalModel,
+    SymRelResult,
+    check_program_relational,
+    symrel_findings,
+)
+from repro.analysis.symrel.explore import ExplorationResult, RelationalExplorer
+from repro.analysis.symrel.replay import ReplayResult, replay_counterexample
+from repro.analysis.symrel.solve import CheckOutcome, Solver
+
+__all__ = [
+    "CheckOutcome",
+    "ExplorationResult",
+    "RelationalExplorer",
+    "RelationalModel",
+    "ReplayResult",
+    "Solver",
+    "SymRelResult",
+    "check_program_relational",
+    "replay_counterexample",
+    "symrel_findings",
+]

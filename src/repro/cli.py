@@ -15,12 +15,16 @@ Commands
 ``experiments [target ...]``
     Regenerate the paper's tables/figures (delegates to
     :mod:`repro.experiments.__main__`).
-``ctcheck [--all]``
+``ctcheck [--all] [--symbolic [--spec-window N]]``
     Constant-time lint: check every built-in IR program
     (:mod:`repro.analysis.ctlint`: taint, interval bounds, DS
     coverage) and audit every workload's registered dataflow
     linearization sets.  Exits 1 iff an error-severity finding
     (``DS-COVERAGE``, ``CT-TRIPCOUNT``) is reported.
+    ``--symbolic`` adds the static relational symbolic checker
+    (:mod:`repro.analysis.symrel`): proofs/refutations with concrete
+    secret pairs, sanitizer replays, and (``--spec-window N``) a
+    bounded speculative pass.  ``--list-rules`` prints the catalog.
 """
 
 from __future__ import annotations
@@ -122,8 +126,14 @@ def _cmd_ctcheck(args) -> int:
     import json
 
     from repro.analysis.api import BUILTIN_PROGRAM_SPECS, run_ctcheck
-    from repro.analysis.ctlint import SEVERITY_ORDER
+    from repro.analysis.ctlint import RULES, SEVERITY_ORDER
 
+    if args.list_rules:
+        width = max(len(rule) for rule in RULES)
+        for rule in sorted(RULES):
+            severity, description = RULES[rule]
+            print(f"{rule:<{width}}  {severity:<7}  {description}")
+        return 0
     unknown = [
         name for name in args.program or [] if name not in BUILTIN_PROGRAM_SPECS
     ]
@@ -146,6 +156,9 @@ def _cmd_ctcheck(args) -> int:
         workloads=workloads,
         include_workloads=include_workloads,
         seed=args.seed,
+        symbolic=args.symbolic,
+        spec_window=args.spec_window,
+        replay=not args.no_replay,
     )
     if args.json:
         print(json.dumps(result.as_dict(), indent=2))
@@ -318,6 +331,32 @@ def build_parser() -> argparse.ArgumentParser:
     ctcheck.add_argument("--seed", type=int, default=1)
     ctcheck.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    ctcheck.add_argument(
+        "--symbolic",
+        action="store_true",
+        help="also run the static relational symbolic checker over "
+        "each IR program's native and mitigated variants (CT-REL / "
+        "CT-SPEC / CT-PROVED findings; native leaks exit 1 by design)",
+    )
+    ctcheck.add_argument(
+        "--spec-window",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --symbolic: explore mispredicted branch directions "
+        "transiently for up to N statements (0 = sequential only)",
+    )
+    ctcheck.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="with --symbolic: skip replaying counterexamples through "
+        "the dynamic sanitizer",
+    )
+    ctcheck.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (ID, severity, description) and exit",
     )
     ctcheck.set_defaults(fn=_cmd_ctcheck)
 

@@ -18,6 +18,8 @@ from repro.lang.programs import (
     demo_inputs,
     histogram_program,
     lookup_program,
+    masked_lookup_program,
+    speculative_lookup_program,
     swap_program,
 )
 from repro.lang.pretty import (
@@ -48,9 +50,11 @@ __all__ = [
     "dump",
     "histogram_program",
     "lookup_program",
+    "masked_lookup_program",
     "path_index",
     "render_stmt",
     "run_program",
+    "speculative_lookup_program",
     "statement_at",
     "statement_paths",
     "swap_program",

@@ -148,6 +148,72 @@ def swap_program(size: int) -> Tuple[Program, Callable]:
     return program, reference
 
 
+def masked_lookup_program(size: int) -> Tuple[Program, Callable]:
+    """``out = table[key & (size - 1)]`` — constant-time only by masking.
+
+    ``size`` must be a power of two.  The access is still
+    secret-indexed (the native variant leaks the line of
+    ``key & (size - 1)``), but the mask makes the reachable range
+    provably in bounds — the interval/coverage pipeline can certify
+    the DS, and the relational checker refutes the native variant with
+    two keys landing on different cache lines.
+    """
+    if size & (size - 1):
+        raise ValueError(f"size {size} is not a power of two")
+    program = Program(
+        name="masked_lookup",
+        secret_inputs=("key",),
+        arrays=(ArrayDecl("table", size),),
+        body=(
+            BinOp("t", "and", "key", size - 1),
+            Load("out", "table", "t"),
+        ),
+        outputs=("out",),
+    )
+
+    def reference(inputs: Dict[str, int], arrays) -> Dict[str, object]:
+        return {"out": arrays["table"][inputs["key"] & (size - 1)]}
+
+    return program, reference
+
+
+def speculative_lookup_program(size: int) -> Tuple[Program, Callable]:
+    """Sequentially safe, speculatively leaky (the Spectre-v1 shape).
+
+    The bounds check ``oob = (key % size) >= size`` is always false, so
+    the secret-indexed load in its then-branch is architecturally dead:
+    every sequential execution performs only the public ``table[0]``
+    load and the branch direction never varies.  A mispredicting core,
+    however, transiently executes the dead branch and touches
+    ``table[key % size]`` — visible in the cache after the squash.
+    Checkers with sequential semantics prove this program; only the
+    speculative mode (``--spec-window >= 1``) refutes it.
+    """
+    program = Program(
+        name="speculative_lookup",
+        secret_inputs=("key",),
+        arrays=(ArrayDecl("table", size),),
+        body=(
+            BinOp("t", "mod", "key", size),
+            BinOp("oob", "ge", "t", size),
+            If(
+                "oob",
+                then_body=(Load("leak", "table", "t"),),
+                else_body=(Const("leak", 0),),
+            ),
+            Load("out", "table", 0),
+            BinOp("out", "add", "out", "leak"),
+        ),
+        outputs=("out",),
+    )
+
+    def reference(inputs: Dict[str, int], arrays) -> Dict[str, object]:
+        # The then-branch is dead: (key % size) < size always.
+        return {"out": arrays["table"][0] & 0xFFFFFFFF}
+
+    return program, reference
+
+
 def demo_inputs(
     program_name: str, size: int, seed: int
 ) -> Tuple[Dict[str, int], Dict[str, List[int]]]:
@@ -170,4 +236,8 @@ def demo_inputs(
             {"i": rng.randrange(1 << 16), "j": rng.randrange(1 << 16)},
             {"a": [rng.randrange(1 << 20) for _ in range(size)]},
         )
+    if program_name in ("masked_lookup", "speculative_lookup"):
+        return {"key": rng.randrange(1 << 16)}, {
+            "table": [rng.randrange(1 << 20) for _ in range(size)]
+        }
     raise ValueError(program_name)

@@ -122,8 +122,37 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["ctcheck", "--program", "nope"])
 
+    def test_list_rules_prints_full_catalog(self, capsys):
+        from repro.analysis.ctlint import RULES
+
+        assert main(["ctcheck", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule, (severity, _) in RULES.items():
+            assert rule in out
+            assert severity in out
+        # The relational rules ship in the catalog.
+        for rule in ("CT-REL", "CT-SPEC", "CT-PROVED", "CT-UNKNOWN"):
+            assert rule in out
+
+    def test_symbolic_flag_refutes_native_proves_mitigated(self, capsys):
+        code = main(
+            ["ctcheck", "--program", "lookup", "--no-workloads",
+             "--symbolic", "--no-replay"]
+        )
+        # The native variant of every builtin leaks by design, so the
+        # symbolic mode exits 1 — with a CT-REL carrying a concrete
+        # pair and a CT-PROVED for the mitigated variant.
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "CT-REL" in out
+        assert "CT-PROVED" in out
+        assert "mitigated execution proved constant-time" in out
+
     def test_single_workload_audit(self, capsys):
         # --workload narrows the audit but the static program checks
-        # still run: 4 programs + 1 workload.
+        # still run: every builtin program + 1 workload.
+        targets = len(api.BUILTIN_PROGRAM_SPECS) + 1
         assert main(["ctcheck", "--workload", "binary_search"]) == 0
-        assert "checked 5 target(s)" in capsys.readouterr().out
+        assert (
+            f"checked {targets} target(s)" in capsys.readouterr().out
+        )

@@ -267,6 +267,16 @@ class TestInfoRules:
         assert "CT-SUMMARY" in rules_of(findings)
 
 
+class TestSymrelRules:
+    def test_relational_rules_registered(self):
+        for rule in ("CT-REL", "CT-SPEC", "CT-PROVED", "CT-UNKNOWN"):
+            assert rule in RULES
+        assert RULES["CT-REL"][0] == "error"
+        assert RULES["CT-SPEC"][0] == "warning"
+        assert RULES["CT-PROVED"][0] == "info"
+        assert RULES["CT-UNKNOWN"][0] == "warning"
+
+
 class TestOrderingAndFormat:
     def test_errors_sort_first(self):
         findings = lint(
@@ -298,3 +308,35 @@ class TestOrderingAndFormat:
         assert set(d) == {
             "rule", "severity", "program", "path", "message", "snippet"
         }
+
+    def test_identical_findings_collapse(self):
+        # value-equal findings hash equal, so the linter's
+        # dict.fromkeys dedupe keeps exactly one copy
+        a = Finding("CT-DFL", "info", "p", "body[0]", "m", "s")
+        b = Finding("CT-DFL", "info", "p", "body[0]", "m", "s")
+        assert a == b and hash(a) == hash(b)
+        assert list(dict.fromkeys([a, b, a])) == [a]
+
+    def test_output_has_no_duplicates_and_is_byte_stable(self):
+        import json
+
+        program, _ = histogram_program(16, 8)
+        first = lint(program)
+        second = lint(program)
+        assert len(first) == len(set(first))
+        assert [f.as_dict() for f in first] == [
+            f.as_dict() for f in second
+        ]
+        assert json.dumps(
+            [f.as_dict() for f in first], sort_keys=True
+        ) == json.dumps([f.as_dict() for f in second], sort_keys=True)
+
+    def test_sort_key_is_severity_rule_location(self):
+        program, _ = histogram_program(16, 8)
+        findings = lint(program)
+        keys = [
+            (["error", "warning", "info"].index(f.severity),
+             f.rule, f.path)
+            for f in findings
+        ]
+        assert keys == sorted(keys)

@@ -1,14 +1,18 @@
 """Interval domain, widening termination, and DS coverage proofs."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import params
 from repro.analysis.intervals import (
     MASK32,
     Interval,
+    _binop_interval,
     analyze_intervals,
     prove_ds_covers,
 )
+from repro.lang import ir
 from repro.ct.ds import DataflowLinearizationSet
 from repro.lang.ir import (
     ArrayDecl,
@@ -251,6 +255,72 @@ class TestDSCoverage:
         )
         with pytest.raises(TypeError):
             prove_ds_covers(program, "body[0]", ds, base=self.BASE)
+
+
+@st.composite
+def interval_leaves(draw, max_value=1 << 16):
+    lo = draw(st.integers(min_value=0, max_value=max_value))
+    hi = lo + draw(st.integers(min_value=0, max_value=max_value))
+    hi = min(hi, max_value)
+    return Interval(lo, hi), draw(
+        st.integers(min_value=lo, max_value=hi)
+    )
+
+
+@st.composite
+def interval_trees(draw, depth=0):
+    """A random BinOp tree as (interval, concrete value in it)."""
+    if depth >= 3 or draw(st.booleans()):
+        return draw(interval_leaves())
+    op = draw(st.sampled_from(sorted(ir.OPS)))
+    ia, a = draw(interval_trees(depth=depth + 1))
+    if op in ("shl", "shr"):
+        # Unbounded shift amounts make ``a << b`` intractable; real
+        # programs shift by small constants, so bound the RHS.
+        ib, b = draw(interval_leaves(max_value=64))
+    else:
+        ib, b = draw(interval_trees(depth=depth + 1))
+    # Mirror the interpreter/executor pipeline: the abstract result
+    # and the concrete result are both masked at the register write.
+    iv = _binop_interval(op, ia, ib).masked()
+    value = ir.OPS[op][0](a, b) & MASK32
+    return iv, value
+
+
+class TestTransferSoundness:
+    @settings(max_examples=300, deadline=None)
+    @given(interval_trees())
+    def test_concrete_results_stay_inside_abstract_bounds(self, tree):
+        interval, value = tree
+        assert interval.contains(value), (interval, value)
+
+
+class TestForCountIntervals:
+    def test_symbolic_trip_count_is_recorded(self):
+        program = prog(
+            [
+                BinOp("m", "and", "n", 7),
+                For("i", "m", (Const("x", 1),)),
+            ],
+            inputs=("n",),
+        )
+        report = analyze_intervals(program)
+        interval = report.trip_count_interval(program.body[1])
+        assert interval.within(0, 7)
+
+    def test_zero_trip_loop_still_recorded(self):
+        program = prog(
+            [Const("n", 0), For("i", "n", (Const("x", 1),))]
+        )
+        report = analyze_intervals(program)
+        interval = report.trip_count_interval(program.body[1])
+        assert interval == Interval(0, 0)
+
+    def test_unvisited_statement_raises(self):
+        program = prog([Const("x", 1)])
+        report = analyze_intervals(program)
+        with pytest.raises(KeyError):
+            report.trip_count_interval(For("i", 4, ()))
 
 
 class TestBranchJoin:

@@ -15,6 +15,8 @@ from repro.lang.programs import (
     demo_inputs,
     histogram_program,
     lookup_program,
+    masked_lookup_program,
+    speculative_lookup_program,
     swap_program,
 )
 
@@ -23,6 +25,8 @@ PROGRAMS = {
     "histogram": (lambda: histogram_program(64, 24), 24),
     "conditional_sum": (lambda: conditional_sum_program(24), 24),
     "swap": (lambda: swap_program(96), 96),
+    "masked_lookup": (lambda: masked_lookup_program(128), 128),
+    "speculative_lookup": (lambda: speculative_lookup_program(96), 96),
 }
 
 
