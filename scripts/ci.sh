@@ -13,7 +13,10 @@
 #      replay-confirmed secret pair (or, for the speculative fixture,
 #      refuted only by the speculative pass) and every mitigated
 #      variant proved
-#   5. a perf sanity pass: `python -m repro bench --repeats 1` (single
+#   5. the automatic repair smoke (scripts/repair_smoke.py): every
+#      leaky builtin must auto-repair to CT-PROVED within the 1.5x
+#      overhead budget — a residual CT-REL exits nonzero
+#   6. a perf sanity pass: `python -m repro bench --repeats 1` (single
 #      repeat — a smoke that the measured hot paths still run, not a
 #      stable throughput number; scripts/bench.sh records those)
 #
@@ -38,6 +41,9 @@ python -m repro ctcheck --all
 
 echo "== symbolic relational smoke (scripts/symrel_smoke.py)"
 python scripts/symrel_smoke.py
+
+echo "== automatic repair smoke (scripts/repair_smoke.py)"
+python scripts/repair_smoke.py
 
 echo "== perf smoke (python -m repro bench --repeats 1)"
 python -m repro bench --repeats 1

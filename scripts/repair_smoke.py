@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""CI smoke for the automatic repair pipeline.
+
+Runs :func:`repro.analysis.repair.repair_program` over every built-in
+IR program and asserts the full contract:
+
+* every program repairs to **CT-PROVED** (sequential *and* speculative,
+  window 2) — a residual ``CT-REL`` is a gate failure;
+* the repaired program's cycle cost stays within ``MAX_OVERHEAD_RATIO``
+  of the executor's on-the-fly (hand-mitigated) run;
+* the emitted DS declarations lint clean: no error-severity findings
+  on the repaired program when checked against exactly the coverage
+  claims the driver proved.
+
+Exit code 0 iff every program passes.  Run from the repo root:
+``PYTHONPATH=src python scripts/repair_smoke.py``.
+"""
+
+import sys
+
+from repro.analysis.api import BUILTIN_PROGRAM_SPECS
+from repro.analysis.ctlint import lint
+from repro.analysis.repair import repair_program
+
+SPEC_WINDOW = 2
+MAX_OVERHEAD_RATIO = 1.5
+
+
+def main() -> int:
+    failures = []
+    for name in sorted(BUILTIN_PROGRAM_SPECS):
+        program = BUILTIN_PROGRAM_SPECS[name]()
+        result = repair_program(program, spec_window=SPEC_WINDOW)
+
+        if not result.proved:
+            failures.append(
+                f"{name}: expected proved, got {result.verdict}"
+                + (f" ({result.reason})" if result.reason else "")
+            )
+            print(f"  {name:20s} {result.summary()}")
+            continue
+
+        ratio = result.overhead.vs_manual if result.overhead else 1.0
+        if ratio > MAX_OVERHEAD_RATIO:
+            failures.append(
+                f"{name}: repaired/manual cycle ratio {ratio:.2f} "
+                f"exceeds {MAX_OVERHEAD_RATIO}"
+            )
+
+        errors = [
+            f
+            for f in lint(result.repaired, ds_map=result.ds_declarations)
+            if f.severity == "error"
+        ]
+        if errors:
+            failures.append(
+                f"{name}: repaired program has lint errors: "
+                + "; ".join(f.rule for f in errors)
+            )
+
+        print(f"  {name:20s} {result.summary()}")
+
+    if failures:
+        print("repair smoke FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"repair smoke passed: {len(BUILTIN_PROGRAM_SPECS)} program(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,11 @@ three layers:
   runs a program twice under differing secrets and diffs the
   attacker-observable line-granularity traces and cycle counts
   (Binsec/Rel-style self-composition, operationalized on the
-  simulated machine).
+  simulated machine);
+* :mod:`repro.analysis.repair` — automatic mitigation synthesis: maps
+  relational counterexamples to the responsible IR statements, applies
+  the cheapest sufficient transform (:mod:`repro.lang.transforms`),
+  and re-proves until ``CT-PROVED``.
 
 :mod:`repro.analysis.api` ties the layers into the ``python -m repro
 ctcheck`` CLI subcommand and the ``ctcheck`` pytest marker.
@@ -29,12 +33,19 @@ from repro.analysis.api import (
     run_ctcheck,
 )
 from repro.analysis.ctlint import Finding, RULES, lint
+from repro.analysis.facts import ProgramFacts, program_facts
 from repro.analysis.intervals import (
     CoverageProof,
     Interval,
     IntervalReport,
     analyze_intervals,
     prove_ds_covers,
+)
+from repro.analysis.repair import (
+    AppliedTransform,
+    LeakSite,
+    RepairResult,
+    repair_program,
 )
 from repro.analysis.sanitizer import (
     SanitizerReport,
@@ -45,12 +56,16 @@ from repro.analysis.sanitizer import (
 )
 
 __all__ = [
+    "AppliedTransform",
     "CTCheckResult",
     "CoverageProof",
     "Finding",
     "Interval",
     "IntervalReport",
+    "LeakSite",
+    "ProgramFacts",
     "RULES",
+    "RepairResult",
     "SanitizerReport",
     "TraceDivergence",
     "analyze_intervals",
@@ -58,7 +73,9 @@ __all__ = [
     "builtin_programs",
     "check_program",
     "lint",
+    "program_facts",
     "prove_ds_covers",
+    "repair_program",
     "run_ctcheck",
     "sanitize",
     "sanitize_program",

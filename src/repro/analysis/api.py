@@ -24,11 +24,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.ctlint import Finding, lint, max_severity
+from repro.analysis.facts import ProgramFacts, program_facts
 from repro.ct.context import MitigationContext
 from repro.ct.ds import DataflowLinearizationSet
 from repro.lang import ir
 from repro.lang.programs import (
+    binary_search_program,
     conditional_sum_program,
+    des_program,
     histogram_program,
     lookup_program,
     masked_lookup_program,
@@ -52,6 +55,8 @@ BUILTIN_PROGRAM_SPECS: Dict[str, Callable[[], ir.Program]] = {
     "swap": lambda: swap_program(64)[0],
     "masked_lookup": lambda: masked_lookup_program(64)[0],
     "speculative_lookup": lambda: speculative_lookup_program(64)[0],
+    "binary_search": lambda: binary_search_program(64)[0],
+    "des": lambda: des_program(64)[0],
 }
 
 
@@ -63,8 +68,20 @@ def builtin_programs() -> Dict[str, ir.Program]:
 def check_program(
     program: ir.Program,
     ds_map: Optional[Dict[str, tuple]] = None,
+    facts: Optional[ProgramFacts] = None,
 ) -> List[Finding]:
-    """Static ctlint over one IR program (see :mod:`.ctlint`)."""
+    """Static ctlint over one IR program (see :mod:`.ctlint`).
+
+    ``facts`` supplies precomputed taint/interval analyses so batch
+    callers walk each program once for all checkers.
+    """
+    if facts is not None:
+        return lint(
+            program,
+            taint=facts.taint,
+            intervals=facts.intervals,
+            ds_map=ds_map,
+        )
     return lint(program, ds_map=ds_map)
 
 
@@ -195,6 +212,11 @@ class CTCheckResult:
     findings: List[Finding] = field(default_factory=list)
     #: human-readable names of every target checked
     checked: List[str] = field(default_factory=list)
+    #: ``--repair`` mode only: program name -> its RepairResult
+    #: (:class:`repro.analysis.repair.RepairResult`), for callers that
+    #: want the repaired IR, transforms, and overhead — the findings
+    #: list carries the serializable CT-REPAIR provenance
+    repairs: Dict[str, object] = field(default_factory=dict)
 
     @property
     def errors(self) -> List[Finding]:
@@ -221,12 +243,109 @@ class CTCheckResult:
         )
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "checked": list(self.checked),
             "findings": [f.as_dict() for f in self.findings],
             "counts": self.counts(),
             "exit_code": self.exit_code,
         }
+        if self.repairs:
+            # Key present only in --repair runs, so non-repair --json
+            # output stays byte-identical to previous releases.
+            out["repairs"] = {
+                name: {
+                    "verdict": res.verdict,
+                    "rounds": res.rounds,
+                    "transforms": [
+                        {
+                            "kind": t.kind,
+                            "rule": t.rule,
+                            "path": t.path,
+                            "final_path": t.final_path,
+                            "description": t.description,
+                        }
+                        for t in res.applied
+                    ],
+                    "overhead": (
+                        res.overhead.as_dict()
+                        if res.overhead is not None
+                        else None
+                    ),
+                }
+                for name, res in sorted(self.repairs.items())
+            }
+        return out
+
+
+def _repair_findings(name: str, res) -> List[Finding]:
+    """Render one RepairResult as deterministic findings.
+
+    One ``CT-REPAIR`` info per applied transform (carrying the fixed
+    finding's rule and both the applied-at and final statement paths),
+    plus a terminal verdict finding: ``CT-PROVED`` info on success,
+    ``CT-REL`` error with the residual counterexample when the leak is
+    irreparable, ``CT-UNKNOWN`` warning when the checker gave up.
+    """
+    findings: List[Finding] = []
+    for t in res.applied:
+        findings.append(
+            Finding(
+                rule="CT-REPAIR",
+                severity="info",
+                program=name,
+                path=t.final_path,
+                message=(
+                    f"applied {t.kind} for {t.rule} at {t.path}: "
+                    f"{t.description}"
+                ),
+            )
+        )
+    if res.verdict == "proved":
+        message = (
+            f"repaired program proved constant-time after "
+            f"{res.rounds} round(s), {len(res.applied)} transform(s)"
+        )
+        if res.overhead is not None:
+            message += (
+                f"; {res.overhead.repaired_cycles:.0f} cycles vs "
+                f"{res.overhead.manual_cycles:.0f} hand-mitigated "
+                f"({res.overhead.vs_manual:.2f}x)"
+            )
+        findings.append(
+            Finding(
+                rule="CT-PROVED",
+                severity="info",
+                program=name,
+                path="",
+                message=message,
+            )
+        )
+    elif res.verdict == "irreparable":
+        residual = ""
+        if res.residual is not None and res.residual.observation:
+            residual = f" (residual: {res.residual.observation})"
+        findings.append(
+            Finding(
+                rule="CT-REL",
+                severity="error",
+                program=name,
+                path="",
+                message=(
+                    f"automatic repair failed: {res.reason}{residual}"
+                ),
+            )
+        )
+    else:
+        findings.append(
+            Finding(
+                rule="CT-UNKNOWN",
+                severity="warning",
+                program=name,
+                path="",
+                message=f"automatic repair inconclusive: {res.reason}",
+            )
+        )
+    return findings
 
 
 def run_ctcheck(
@@ -237,6 +356,8 @@ def run_ctcheck(
     symbolic: bool = False,
     spec_window: int = 0,
     replay: bool = True,
+    repair: bool = False,
+    repair_max_rounds: int = 12,
 ) -> CTCheckResult:
     """Check built-in IR programs and/or workload DS registrations.
 
@@ -252,6 +373,18 @@ def run_ctcheck(
     expected to come back ``CT-PROVED``.  ``spec_window > 0`` enables
     the speculative pass; ``replay=False`` skips sanitizer replays of
     counterexamples (faster, less evidence).
+
+    ``repair=True`` runs the automatic mitigation synthesizer
+    (:func:`repro.analysis.repair.repair_program`) over each program
+    instead of merely diagnosing it: applied transforms surface as
+    ``CT-REPAIR`` findings, a residual (irreparable) leak as a
+    ``CT-REL`` error, and the full per-program
+    :class:`~repro.analysis.repair.RepairResult` objects ride on
+    ``CTCheckResult.repairs``.
+
+    Each program's taint and interval analyses are computed **once**
+    (:func:`repro.analysis.facts.program_facts`) and shared across the
+    linter, both relational variants, and the repair driver.
     """
     from repro.workloads import WORKLOADS
 
@@ -262,15 +395,30 @@ def run_ctcheck(
     )
     for name in program_names:
         program = registry[name]()
-        result.findings.extend(check_program(program))
+        facts = program_facts(program)
+        result.findings.extend(check_program(program, facts=facts))
         if symbolic:
             from repro.analysis.symrel import symrel_findings
 
             result.findings.extend(
                 symrel_findings(
-                    program, spec_window=spec_window, replay=replay
+                    program,
+                    spec_window=spec_window,
+                    replay=replay,
+                    taint=facts.taint,
+                    intervals=facts.intervals,
                 )
             )
+        if repair:
+            from repro.analysis.repair import repair_program
+
+            repair_result = repair_program(
+                program,
+                max_rounds=repair_max_rounds,
+                spec_window=spec_window,
+            )
+            result.repairs[name] = repair_result
+            result.findings.extend(_repair_findings(name, repair_result))
         result.checked.append(f"program:{name}")
     if include_workloads:
         workload_names = (

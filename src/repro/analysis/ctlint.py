@@ -39,6 +39,9 @@ Rules
 ``CT-SELECT``      info       a ``Select`` with a secret *condition* —
                               branchless by construction, no transformation
                               needed (distinct from ordinary data taint)
+``CT-REPAIR``      info       one transform the automatic repair pipeline
+                              applied: carries the kind, the rule it fixed,
+                              and the old and new statement paths
 ``CT-SUMMARY``     info       per-program totals: what will be linearized
 =================  =========  =================================================
 
@@ -105,6 +108,10 @@ RULES: Dict[str, Tuple[str, str]] = {
     "CT-SELECT": (
         "info",
         "secret-condition select (branchless by construction)",
+    ),
+    "CT-REPAIR": (
+        "info",
+        "transform applied by the automatic repair pipeline",
     ),
     "CT-SUMMARY": ("info", "per-program transformation totals"),
     "CT-REL": (
@@ -302,7 +309,11 @@ class _Linter:
     def _visit_access(self, stmt, under_secret: bool) -> None:
         array = self.program.array(stmt.array)
         index_secret = under_secret or self._tainted(stmt.index)
-        if index_secret:
+        # An explicit ``ds`` flag (the repair pipeline's output) routes
+        # the access in every mode — same coverage obligations as a
+        # taint-routed one, whatever the index's secrecy.
+        routed = index_secret or bool(stmt.ds)
+        if routed:
             self.mitigated_arrays.add(stmt.array)
         interval = self.intervals.access_intervals.get(id(stmt))
         if interval is None:
@@ -311,12 +322,17 @@ class _Linter:
             return
         in_bounds = interval.within(0, array.size - 1)
 
-        if index_secret:
+        if routed:
             self.n_secret_accesses += 1
+            how = (
+                "secret-indexed access to"
+                if index_secret
+                else "explicitly DS-routed access to"
+            )
             self._emit(
                 "CT-DFL",
                 stmt,
-                f"secret-indexed access to {stmt.array!r}: routed "
+                f"{how} {stmt.array!r}: routed "
                 f"through its DS ({array.size} words); index bound "
                 f"{interval}",
             )

@@ -1,0 +1,40 @@
+"""Shared per-program analysis facts (compute once, use everywhere).
+
+``run_ctcheck`` used to re-walk every program once per checker: the
+linter ran its own taint and interval analyses, then each of the two
+relational variants ran them again — four fixpoint walks per program
+for identical results.  :class:`ProgramFacts` bundles one taint report
+(non-strict, so leaky programs are describable rather than rejected)
+and one interval report, and every consumer — :func:`ctlint.lint`,
+:func:`symrel.check_program_relational`, the repair pipeline — accepts
+them as optional precomputed inputs.
+
+Kept in its own module so the repair driver and the public API facade
+can both import it without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.intervals import IntervalReport, analyze_intervals
+from repro.lang import ir
+from repro.lang.taint import TaintReport, analyze
+
+
+@dataclass(frozen=True)
+class ProgramFacts:
+    """One program's taint and interval analyses, computed once."""
+
+    program: ir.Program
+    taint: TaintReport
+    intervals: IntervalReport
+
+
+def program_facts(program: ir.Program) -> ProgramFacts:
+    """Run both analyses over ``program`` (non-strict taint)."""
+    return ProgramFacts(
+        program=program,
+        taint=analyze(program, strict=False),
+        intervals=analyze_intervals(program),
+    )

@@ -1,0 +1,30 @@
+"""Analysis-guided automatic mitigation synthesis.
+
+The closed loop over the static toolchain: the relational checker
+(:mod:`repro.analysis.symrel`) *refutes* a program with a concrete
+counterexample, the localizer (:mod:`repro.analysis.repair.localize`)
+maps that counterexample to the minimal IR statements responsible,
+the transform library (:mod:`repro.lang.transforms`) rewrites exactly
+those statements, and the driver
+(:mod:`repro.analysis.repair.driver`) re-proves the result — repeating
+until ``CT-PROVED`` or until no transform applies (*irreparable*,
+with the residual counterexample attached).
+
+Entry points: :func:`repair_program` (library) and
+``python -m repro ctcheck --repair`` (CLI).
+"""
+
+from repro.analysis.repair.driver import (
+    AppliedTransform,
+    RepairResult,
+    repair_program,
+)
+from repro.analysis.repair.localize import LeakSite, localize
+
+__all__ = [
+    "AppliedTransform",
+    "LeakSite",
+    "RepairResult",
+    "localize",
+    "repair_program",
+]

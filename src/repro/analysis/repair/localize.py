@@ -1,0 +1,179 @@
+"""Map checker counterexamples to the IR statements that caused them.
+
+A symrel :class:`~repro.analysis.symrel.explore.Refutation` points at
+one *observation* — the branch direction or the memory line that
+distinguished the two executions, with its stable statement path.
+Localization turns that into a :class:`LeakSite`: the statement to
+transform, the *kind* of transform that can fix it, and the backward
+slice explaining where the secrecy came from (the provenance chain
+diagnostics print).
+
+Trip-count leaks never show up as refutations — a secret count crashes
+strict taint before any exploration — so they are localized directly
+from the taint facts (``tripcount_sites``), with the interval analysis
+supplying the public padding bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.facts import ProgramFacts
+from repro.lang import ir
+from repro.lang.pretty import statement_paths
+from repro.lang.taint import backward_slice
+
+#: leak kinds, in the order the driver repairs them
+KIND_TRIPCOUNT = "tripcount"
+KIND_BRANCH = "branch"
+KIND_ACCESS = "access"
+
+
+@dataclass(frozen=True)
+class LeakSite:
+    """One localized leak: where, what kind, and why.
+
+    ``path``
+        Stable path of the statement to transform.
+    ``kind``
+        ``"branch"`` (secret ``If`` → linearize), ``"access"``
+        (secret-indexed or transiently-leaking ``Load``/``Store`` →
+        DS-route), or ``"tripcount"`` (tainted ``For`` count → pad).
+    ``rule``
+        The finding rule this site explains (``CT-REL``, ``CT-SPEC``,
+        ``CT-TRIPCOUNT``).
+    ``detail``
+        Human-readable cause (the observation description or taint
+        fact).
+    ``slice``
+        Backward slice of the leaking operand: the statement paths
+        whose values feed the branch condition / access index.
+    ``bound``
+        For ``tripcount`` sites: the interval-proven public iteration
+        bound to pad to (``None`` when the interval is unbounded — the
+        site is irreparable).
+    """
+
+    path: str
+    kind: str
+    rule: str
+    detail: str
+    slice: Tuple[str, ...] = field(default_factory=tuple)
+    bound: Optional[int] = None
+
+
+def _slice_of(program: ir.Program, operand: ir.Operand) -> Tuple[str, ...]:
+    if not isinstance(operand, str):
+        return ()
+    return backward_slice(program, (operand,))
+
+
+def tripcount_sites(facts: ProgramFacts) -> List[LeakSite]:
+    """Secret trip counts, localized straight from the taint facts.
+
+    Returned in pre-order so outer loops pad before inner ones (a
+    pad rewrites its subtree, and pre-order paths stay valid for
+    later sites only through the transform's remap).
+    """
+    program = facts.program
+    sites: List[LeakSite] = []
+    for path, stmt in statement_paths(program):
+        if not isinstance(stmt, ir.For):
+            continue
+        if not (
+            isinstance(stmt.count, str)
+            and stmt.count in facts.taint.tainted_regs
+        ):
+            continue
+        interval = facts.intervals.for_count_intervals.get(id(stmt))
+        bound: Optional[int] = None
+        if interval is not None and math.isfinite(interval.hi):
+            bound = max(0, int(interval.hi))
+        sites.append(
+            LeakSite(
+                path=path,
+                kind=KIND_TRIPCOUNT,
+                rule="CT-TRIPCOUNT",
+                detail=(
+                    f"loop over {stmt.var!r} has secret trip count "
+                    f"{stmt.count!r}"
+                    + (
+                        f"; interval-proven bound {bound}"
+                        if bound is not None
+                        else "; count interval is unbounded"
+                    )
+                ),
+                slice=_slice_of(program, stmt.count),
+                bound=bound,
+            )
+        )
+    return sites
+
+
+def site_from_refutation(
+    program: ir.Program, refutation, speculative: bool
+) -> Optional[LeakSite]:
+    """Localize one symrel refutation to a :class:`LeakSite`.
+
+    Returns ``None`` when the observation has no stable path (e.g. a
+    synthetic ``__live`` guard from guarded unrolling) or points at a
+    statement kind no transform handles — the driver reports those as
+    irreparable with the refutation attached.
+    """
+    rule = "CT-SPEC" if speculative else "CT-REL"
+    return site_from_observation(program, refutation.observation, rule)
+
+
+def site_from_observation(
+    program: ir.Program, obs, rule: str
+) -> Optional[LeakSite]:
+    """Localize one observation (refuted *or* solver-undecided).
+
+    The undecided case is the conservative fallback: an observation
+    the solver can neither prove nor refute (e.g. an address equality
+    through ``mod``) is treated as leaking and transformed anyway —
+    sound for constant-time (routing/linearizing never *introduces* a
+    leak), at worst slightly over-mitigating.
+    """
+    path = obs.stmt_path
+    if not path:
+        return None
+    try:
+        stmt = dict(statement_paths(program))[path]
+    except KeyError:
+        return None
+    if obs.kind == "branch" and isinstance(stmt, ir.If):
+        return LeakSite(
+            path=path,
+            kind=KIND_BRANCH,
+            rule=rule,
+            detail=(
+                f"branch direction on {stmt.cond!r} observable: "
+                f"{obs.describe()}"
+            ),
+            slice=_slice_of(program, stmt.cond),
+        )
+    if obs.kind == "addr" and isinstance(stmt, (ir.Load, ir.Store)):
+        return LeakSite(
+            path=path,
+            kind=KIND_ACCESS,
+            rule=rule,
+            detail=(
+                f"{type(stmt).__name__.lower()} of {stmt.array!r} at "
+                f"secret-dependent line: {obs.describe()}"
+            ),
+            slice=_slice_of(program, stmt.index),
+        )
+    return None
+
+
+def localize(facts: ProgramFacts) -> List[LeakSite]:
+    """Static-only localization: the trip-count sites.
+
+    Branch and access sites come from refutations as the driver loop
+    produces them (:func:`site_from_refutation`); trip counts must be
+    found up front because strict taint aborts exploration entirely.
+    """
+    return tripcount_sites(facts)

@@ -166,12 +166,16 @@ def check_program_relational(
     replay: bool = True,
     solver: Optional[Solver] = None,
     granularity: str = "line",
+    taint=None,
+    intervals=None,
 ) -> SymRelResult:
     """Relationally check one variant of ``program``.
 
     ``replay=True`` re-runs any sequential counterexample through the
     dynamic sanitizer (on the configuration matching ``mitigate``) and
-    attaches the confirmed trace diff.
+    attaches the confirmed trace diff.  ``taint``/``intervals`` accept
+    precomputed per-program facts so batch callers (ctcheck, the
+    repair driver) walk each program once instead of per check.
     """
     solver = solver or Solver()
     explorer = RelationalExplorer(
@@ -180,6 +184,8 @@ def check_program_relational(
         solver=solver,
         spec_window=spec_window,
         granularity=granularity,
+        taint=taint,
+        intervals=intervals,
     )
     exploration = explorer.run()
 
@@ -267,6 +273,8 @@ def symrel_findings(
     spec_window: int = 0,
     replay: bool = True,
     solver: Optional[Solver] = None,
+    taint=None,
+    intervals=None,
 ) -> List[Finding]:
     """Check both variants of ``program``; render findings.
 
@@ -284,6 +292,8 @@ def symrel_findings(
                 spec_window=spec_window,
                 replay=replay and not mitigate,
                 solver=solver,
+                taint=taint,
+                intervals=intervals,
             )
         except ProtocolError as exc:
             findings.append(

@@ -124,6 +124,10 @@ class ExplorationResult:
     spec_complete: bool = True
     truncated: List[str] = field(default_factory=list)
     unknown_observations: List[str] = field(default_factory=list)
+    #: the undecided observations themselves (same order as the
+    #: descriptions above) — the repair driver localizes from these
+    #: when the solver can neither prove nor refute
+    unknown_obs: List[Observation] = field(default_factory=list)
     paths: int = 0
     steps: int = 0
     observations_checked: int = 0
@@ -190,6 +194,7 @@ class RelationalExplorer:
         spec_window: int = 0,
         granularity: str = "line",
         intervals: Optional[IntervalReport] = None,
+        taint: Optional[TaintReport] = None,
         max_paths: int = MAX_PATHS,
         max_steps: int = MAX_STEPS,
     ) -> None:
@@ -202,8 +207,12 @@ class RelationalExplorer:
         self.granularity = granularity
         self.max_paths = max_paths
         self.max_steps = max_steps
+        # Mitigated mode transforms where taint says to; native mode
+        # keeps taint=None so nothing is linearized implicitly.  A
+        # caller with precomputed facts passes them in to avoid
+        # re-walking the program (the ctcheck fact-sharing path).
         self.taint: Optional[TaintReport] = (
-            analyze(program, strict=False) if mitigate else None
+            (taint or analyze(program, strict=False)) if mitigate else None
         )
         self.intervals = intervals or analyze_intervals(program)
         self.bases = array_bases(program)
@@ -297,6 +306,7 @@ class RelationalExplorer:
                 raise _SequentialLeak()
         elif not outcome.proved:
             self.result.unknown_observations.append(obs.describe())
+            self.result.unknown_obs.append(obs)
             if obs.speculative:
                 self.result.spec_complete = False
             else:
@@ -434,7 +444,15 @@ class RelationalExplorer:
             raise ProtocolError(f"unknown statement {stmt!r}")
 
     def _ds_routed(self, stmt, pred: Optional[Term]) -> bool:
-        """Mirror :meth:`Executor._secure_access` for mitigated mode."""
+        """Mirror :meth:`Executor._secure_access`.
+
+        An explicit ``ds`` flag (the repair pipeline's output) routes
+        the access in *every* mode — including the native variant the
+        repair driver re-proves — otherwise routing is the
+        mitigated-mode taint rule.
+        """
+        if stmt.ds:
+            return True
         return self.mitigate and (
             self._is_secret_operand(stmt.index) or pred is not None
         )

@@ -15,7 +15,7 @@ Commands
 ``experiments [target ...]``
     Regenerate the paper's tables/figures (delegates to
     :mod:`repro.experiments.__main__`).
-``ctcheck [--all] [--symbolic [--spec-window N]]``
+``ctcheck [--all] [--symbolic [--spec-window N]] [--repair]``
     Constant-time lint: check every built-in IR program
     (:mod:`repro.analysis.ctlint`: taint, interval bounds, DS
     coverage) and audit every workload's registered dataflow
@@ -24,7 +24,12 @@ Commands
     ``--symbolic`` adds the static relational symbolic checker
     (:mod:`repro.analysis.symrel`): proofs/refutations with concrete
     secret pairs, sanitizer replays, and (``--spec-window N``) a
-    bounded speculative pass.  ``--list-rules`` prints the catalog.
+    bounded speculative pass.  ``--repair`` runs the automatic
+    mitigation synthesizer (:mod:`repro.analysis.repair`) over each
+    program — localize, transform, re-prove — reporting one
+    ``CT-REPAIR`` finding per applied transform (``--repair-out FILE``
+    dumps the repaired IR, ``--max-rounds N`` bounds the loop).
+    ``--list-rules`` prints the catalog.
 """
 
 from __future__ import annotations
@@ -159,7 +164,19 @@ def _cmd_ctcheck(args) -> int:
         symbolic=args.symbolic,
         spec_window=args.spec_window,
         replay=not args.no_replay,
+        repair=args.repair,
+        repair_max_rounds=args.max_rounds,
     )
+    if args.repair and args.repair_out:
+        from repro.lang.pretty import dump
+
+        chunks = []
+        for name in sorted(result.repairs):
+            res = result.repairs[name]
+            chunks.append(f"# {res.summary()}")
+            chunks.append(dump(res.repaired, paths=True))
+        with open(args.repair_out, "w") as fh:
+            fh.write("\n\n".join(chunks) + "\n")
     if args.json:
         print(json.dumps(result.as_dict(), indent=2))
         return result.exit_code
@@ -357,6 +374,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalog (ID, severity, description) and exit",
+    )
+    ctcheck.add_argument(
+        "--repair",
+        action="store_true",
+        help="automatically repair each IR program: localize leaks, "
+        "transform the IR (branch linearization, DS routing, "
+        "trip-count padding), re-prove with the relational checker; "
+        "CT-REPAIR findings carry the provenance, residual leaks "
+        "exit 1",
+    )
+    ctcheck.add_argument(
+        "--repair-out",
+        metavar="FILE",
+        default=None,
+        help="with --repair: write the repaired programs "
+        "(pretty-printed IR with stable paths) to FILE",
+    )
+    ctcheck.add_argument(
+        "--max-rounds",
+        type=int,
+        default=12,
+        metavar="N",
+        help="with --repair: give up after N localize/transform/"
+        "re-prove rounds per program (default 12)",
     )
     ctcheck.set_defaults(fn=_cmd_ctcheck)
 

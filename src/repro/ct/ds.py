@@ -131,6 +131,19 @@ class DataflowLinearizationSet:
         """DS of an explicit (possibly discontiguous) address set."""
         return cls(addrs, name=name)
 
+    @classmethod
+    def for_array(
+        cls, base: int, size_words: int, name: str = ""
+    ) -> "DataflowLinearizationSet":
+        """DS covering a whole IR array of 4-byte words at ``base``.
+
+        The declaration the repair pipeline emits for each DS-routed
+        array — identical to the executor's default registration, so
+        :func:`repro.analysis.intervals.prove_ds_covers` can validate
+        the coverage claim against the array's proven index bounds.
+        """
+        return cls.from_range(base, 4 * size_words, name=name)
+
     # -- grouping -------------------------------------------------------------
 
     def view(self, group_bits: int) -> DSGroupView:

@@ -52,6 +52,16 @@ class StoreError(ReproError):
     """
 
 
+class TransformError(ReproError):
+    """An IR rewrite (:mod:`repro.lang.transforms`) cannot apply.
+
+    Examples: the addressed statement is not of the kind the transform
+    handles, a loop sits inside a branch-linearization region, or a
+    trip-count pad was requested with a negative bound.  The repair
+    driver turns these into *irreparable* verdicts instead of crashing.
+    """
+
+
 class ProtocolError(ReproError):
     """A component was driven in a way its protocol forbids.
 

@@ -14,8 +14,10 @@ from repro.lang.ir import (
     Store,
 )
 from repro.lang.programs import (
+    binary_search_program,
     conditional_sum_program,
     demo_inputs,
+    des_program,
     histogram_program,
     lookup_program,
     masked_lookup_program,
@@ -29,7 +31,14 @@ from repro.lang.pretty import (
     statement_at,
     statement_paths,
 )
-from repro.lang.taint import TaintReport, analyze
+from repro.lang.taint import TaintReport, analyze, backward_slice
+from repro.lang.transforms import (
+    TransformResult,
+    compose_remaps,
+    ds_route_access,
+    linearize_branch,
+    pad_trip_count,
+)
 
 __all__ = [
     "ArrayDecl",
@@ -44,13 +53,21 @@ __all__ = [
     "Select",
     "Store",
     "TaintReport",
+    "TransformResult",
     "analyze",
+    "backward_slice",
+    "binary_search_program",
+    "compose_remaps",
     "conditional_sum_program",
     "demo_inputs",
+    "des_program",
+    "ds_route_access",
     "dump",
     "histogram_program",
+    "linearize_branch",
     "lookup_program",
     "masked_lookup_program",
+    "pad_trip_count",
     "path_index",
     "render_stmt",
     "run_program",

@@ -178,10 +178,17 @@ class Executor:
         else:  # pragma: no cover - exhaustive over the IR
             raise ProtocolError(f"unknown statement {stmt!r}")
 
-    def _secure_access(self, stmt_index: ir.Operand, pred: Optional[bool]) -> bool:
-        """Does this access need data-flow linearization?"""
+    def _secure_access(self, stmt, pred: Optional[bool]) -> bool:
+        """Does this access need data-flow linearization?
+
+        An explicit ``ds`` flag (the repair pipeline's output) routes
+        the access through its DS in *every* mode; otherwise routing is
+        the mitigated-mode taint rule.
+        """
+        if stmt.ds:
+            return True
         return self.mitigate and (
-            self._is_secret(stmt_index) or pred is not None
+            self._is_secret(stmt.index) or pred is not None
         )
 
     def _exec_load(self, stmt: ir.Load, pred: Optional[bool]) -> None:
@@ -189,7 +196,7 @@ class Executor:
         machine.execute(1)  # address generation
         index = self._value(stmt.index)
         addr = self._addr(stmt.array, index, dead=pred is False)
-        if self._secure_access(stmt.index, pred):
+        if self._secure_access(stmt, pred):
             value = self.ctx.load(self._ds[stmt.array], addr)
         else:
             value = machine.load_word(addr)
@@ -201,7 +208,7 @@ class Executor:
         index = self._value(stmt.index)
         addr = self._addr(stmt.array, index, dead=pred is False)
         value = self._value(stmt.value) & MASK32
-        if self._secure_access(stmt.index, pred):
+        if self._secure_access(stmt, pred):
             if pred is None:
                 self.ctx.store(self._ds[stmt.array], addr, value)
             else:

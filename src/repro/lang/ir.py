@@ -33,6 +33,15 @@ statements, and named *outputs*.  Operands are register names
 The IR is deliberately side-effect-structured (no goto) so that
 control-flow linearization is a local transformation, exactly the
 subset Constantine's region-based linearization handles best.
+
+``Load``/``Store`` additionally carry a ``ds`` flag: when set, the
+access is *explicitly* data-flow linearized — the executor routes it
+through the array's registered dataflow linearization set in every
+mode, and the symbolic relational checker models it as a constant
+observation.  The automatic repair pipeline
+(:mod:`repro.analysis.repair`) emits these flags; hand-written
+programs normally leave them False and rely on the executor's
+taint-driven ``mitigate=True`` routing instead.
 """
 
 from __future__ import annotations
@@ -98,6 +107,11 @@ class Load:
     dst: str
     array: str
     index: Operand
+    #: explicit data-flow linearization: route this access through the
+    #: array's registered DS in *every* execution mode (the repair
+    #: pipeline's output; the executor's mitigate=True routing is
+    #: taint-driven and does not need the flag)
+    ds: bool = False
 
 
 @dataclass(frozen=True)
@@ -105,6 +119,7 @@ class Store:
     array: str
     index: Operand
     value: Operand
+    ds: bool = False
 
 
 @dataclass(frozen=True)

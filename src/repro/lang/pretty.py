@@ -92,6 +92,15 @@ def _operand(report: Optional[TaintReport], operand: ir.Operand) -> str:
     return operand
 
 
+def _access_tag(stmt, report: Optional[TaintReport]) -> str:
+    """Annotation for a ``Load``/``Store``: explicit or taint-driven DS."""
+    if getattr(stmt, "ds", False):
+        return "  [ds]"
+    if report is not None and stmt.array in report.secret_indexed_arrays:
+        return f"  [DS: {stmt.array}]"
+    return ""
+
+
 def render_stmt(stmt, report: Optional[TaintReport] = None) -> str:
     """One-line rendering of a single statement (no indentation).
 
@@ -133,16 +142,12 @@ def _stmt_lines(
             f"{fmt(stmt.if_true)} : {fmt(stmt.if_false)}{loc}"
         ]
     if isinstance(stmt, ir.Load):
-        tag = ""
-        if report is not None and stmt.array in report.secret_indexed_arrays:
-            tag = f"  [DS: {stmt.array}]"
+        tag = _access_tag(stmt, report)
         return [
             f"{pad}{fmt(stmt.dst)} = {stmt.array}[{fmt(stmt.index)}]{tag}{loc}"
         ]
     if isinstance(stmt, ir.Store):
-        tag = ""
-        if report is not None and stmt.array in report.secret_indexed_arrays:
-            tag = f"  [DS: {stmt.array}]"
+        tag = _access_tag(stmt, report)
         return [
             f"{pad}{stmt.array}[{fmt(stmt.index)}] = {fmt(stmt.value)}{tag}{loc}"
         ]

@@ -214,6 +214,107 @@ def speculative_lookup_program(size: int) -> Tuple[Program, Callable]:
     return program, reference
 
 
+def binary_search_program(size: int) -> Tuple[Program, Callable]:
+    """Branchy binary search for a secret needle in a public table.
+
+    The classic compound leak: each round branches on a comparison
+    against the secret needle (control-flow leak: the branch pattern
+    *is* the bisection trace) and then loads ``haystack[mid]`` where
+    ``mid`` is secret-derived (data-flow leak).  ``mid`` is masked
+    with ``size - 1`` — the identity for real midpoints since
+    ``lo, hi < size`` — so the reachable range is provably in bounds
+    and the repair pipeline can certify DS coverage after it
+    linearizes the branch.  ``size`` must be a power of two; the loop
+    runs ``log2(size)`` rounds (a public constant).
+    """
+    if size & (size - 1) or size < 2:
+        raise ValueError(f"size {size} is not a power of two >= 2")
+    rounds = size.bit_length() - 1
+    program = Program(
+        name="binary_search",
+        secret_inputs=("needle",),
+        arrays=(ArrayDecl("haystack", size),),
+        body=(
+            Const("lo", 0),
+            Const("hi", size - 1),
+            For(
+                "k",
+                rounds,
+                (
+                    BinOp("s", "add", "lo", "hi"),
+                    BinOp("mid", "shr", "s", 1),
+                    BinOp("mid", "and", "mid", size - 1),
+                    Load("v", "haystack", "mid"),
+                    BinOp("go", "lt", "v", "needle"),
+                    If(
+                        "go",
+                        then_body=(BinOp("lo", "add", "mid", 1),),
+                        else_body=(BinOp("hi", "add", "mid", 0),),
+                    ),
+                ),
+            ),
+        ),
+        outputs=("lo",),
+    )
+
+    def reference(inputs: Dict[str, int], arrays) -> Dict[str, object]:
+        hay = arrays["haystack"]
+        needle = inputs["needle"] & 0xFFFFFFFF
+        lo, hi = 0, size - 1
+        for _ in range(rounds):
+            mid = ((lo + hi) >> 1) & (size - 1)
+            if (hay[mid] & 0xFFFFFFFF) < needle:
+                lo = mid + 1
+            else:
+                hi = mid
+        return {"lo": lo}
+
+    return program, reference
+
+
+def des_program(size: int = 64) -> Tuple[Program, Callable]:
+    """A DES-style round: key mixing then two chained S-box lookups.
+
+    The table-based cipher shape from the cache-attack literature: the
+    block is whitened with the secret key, then indexes two public
+    S-boxes — every lookup index is key-derived, so the native cache
+    footprint leaks key bits (no secret branches, pure data-flow
+    leak).  The ``and (size - 1)`` masking keeps indices provably in
+    bounds; ``size`` must be a power of two (64 matches real DES
+    S-box fan-in).
+    """
+    if size & (size - 1) or size < 2:
+        raise ValueError(f"size {size} is not a power of two >= 2")
+    mask = size - 1
+    shift = size.bit_length() - 1
+    program = Program(
+        name="des",
+        inputs=("block",),
+        secret_inputs=("key",),
+        arrays=(ArrayDecl("sbox1", size), ArrayDecl("sbox2", size)),
+        body=(
+            BinOp("x", "xor", "block", "key"),
+            BinOp("i1", "and", "x", mask),
+            Load("s1", "sbox1", "i1"),
+            BinOp("y", "shr", "x", shift),
+            BinOp("y", "xor", "y", "s1"),
+            BinOp("i2", "and", "y", mask),
+            Load("s2", "sbox2", "i2"),
+            BinOp("out", "shl", "s1", 8),
+            BinOp("out", "xor", "out", "s2"),
+        ),
+        outputs=("out",),
+    )
+
+    def reference(inputs: Dict[str, int], arrays) -> Dict[str, object]:
+        x = (inputs["block"] ^ inputs["key"]) & 0xFFFFFFFF
+        s1 = arrays["sbox1"][x & mask] & 0xFFFFFFFF
+        s2 = arrays["sbox2"][((x >> shift) ^ s1) & mask] & 0xFFFFFFFF
+        return {"out": ((s1 << 8) ^ s2) & 0xFFFFFFFF}
+
+    return program, reference
+
+
 def demo_inputs(
     program_name: str, size: int, seed: int
 ) -> Tuple[Dict[str, int], Dict[str, List[int]]]:
@@ -240,4 +341,18 @@ def demo_inputs(
         return {"key": rng.randrange(1 << 16)}, {
             "table": [rng.randrange(1 << 20) for _ in range(size)]
         }
+    if program_name == "binary_search":
+        return {"needle": rng.randrange(1 << 16)}, {
+            "haystack": sorted(
+                rng.randrange(1 << 16) for _ in range(size)
+            )
+        }
+    if program_name == "des":
+        return (
+            {"block": rng.randrange(1 << 12), "key": rng.randrange(1 << 12)},
+            {
+                "sbox1": [rng.randrange(1 << 16) for _ in range(size)],
+                "sbox2": [rng.randrange(1 << 16) for _ in range(size)],
+            },
+        )
     raise ValueError(program_name)

@@ -32,7 +32,7 @@ through the value operands, so diagnostics can tell the two apart.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Set, Tuple
+from typing import Iterable, Optional, Set, Tuple
 
 from repro.errors import ProtocolError
 from repro.lang import ir
@@ -160,6 +160,100 @@ class _Analyzer:
             self._walk(stmt.body, under_secret)
         else:  # pragma: no cover - exhaustive over the IR
             raise ProtocolError(f"unknown statement {stmt!r}")
+
+
+def _operands_of(stmt) -> Tuple[ir.Operand, ...]:
+    """Value operands a statement reads (excluding array names)."""
+    if isinstance(stmt, ir.Const):
+        return ()
+    if isinstance(stmt, ir.BinOp):
+        return (stmt.a, stmt.b)
+    if isinstance(stmt, ir.Select):
+        return (stmt.cond, stmt.if_true, stmt.if_false)
+    if isinstance(stmt, ir.Load):
+        return (stmt.index,)
+    if isinstance(stmt, ir.Store):
+        return (stmt.index, stmt.value)
+    if isinstance(stmt, ir.If):
+        return (stmt.cond,)
+    if isinstance(stmt, ir.For):
+        return (stmt.count,)
+    return ()
+
+
+def _written_reg(stmt) -> Optional[str]:
+    if isinstance(stmt, (ir.Const, ir.BinOp, ir.Select, ir.Load)):
+        return stmt.dst
+    if isinstance(stmt, ir.For):
+        return stmt.var
+    return None
+
+
+def _enclosing(path: str) -> Optional[str]:
+    """The path of the structured statement containing ``path``.
+
+    ``body[2].then[0]`` is inside the ``If`` at ``body[2]``;
+    ``body[0].body[3]`` is inside the ``For`` at ``body[0]``; a
+    top-level ``body[i]`` has no enclosure.
+    """
+    head, _, _ = path.rpartition("[")
+    if head in ("body", ""):
+        return None
+    # strip the trailing ".then"/".else"/".body" segment
+    return head.rsplit(".", 1)[0]
+
+
+def backward_slice(
+    program: ir.Program, targets: Iterable[ir.Operand]
+) -> Tuple[str, ...]:
+    """Statement paths whose values can flow into ``targets``.
+
+    A flow-insensitive backward slice over data dependencies (register
+    defs, array contents) plus control dependencies (the condition of
+    every structured statement enclosing a sliced statement).  Used by
+    the repair localizer to report *why* an observation leaks — the
+    provenance of a tainted branch condition or access index.
+    """
+    from repro.lang.pretty import statement_paths
+
+    regs = {t for t in targets if isinstance(t, str)}
+    arrays: Set[str] = set()
+    paths = statement_paths(program)
+    selected: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for path, stmt in paths:
+            if path in selected:
+                continue
+            written = _written_reg(stmt)
+            writes_target = (written is not None and written in regs) or (
+                isinstance(stmt, ir.Store) and stmt.array in arrays
+            )
+            if not writes_target:
+                continue
+            selected.add(path)
+            changed = True
+            for operand in _operands_of(stmt):
+                if isinstance(operand, str) and operand not in regs:
+                    regs.add(operand)
+            if isinstance(stmt, ir.Load) and stmt.array not in arrays:
+                arrays.add(stmt.array)
+        # Control dependence: the enclosing If/For of every sliced
+        # statement joins the slice (with its condition operands).
+        for path, stmt in paths:
+            if path not in selected:
+                continue
+            parent = _enclosing(path)
+            while parent is not None and parent not in selected:
+                selected.add(parent)
+                changed = True
+                parent_stmt = dict(paths)[parent]
+                for operand in _operands_of(parent_stmt):
+                    if isinstance(operand, str):
+                        regs.add(operand)
+                parent = _enclosing(parent)
+    return tuple(sorted(selected))
 
 
 def analyze(program: ir.Program, strict: bool = True) -> TaintReport:

@@ -1,0 +1,452 @@
+"""Path-addressed constant-time rewrites over the mini-IR.
+
+The executor applies Constantine's linearizations *on the fly* (the
+program text never changes); this module applies them *to the text* —
+producing a transformed :class:`~repro.lang.ir.Program` whose native
+execution is constant-time by construction.  That is what the
+automatic repair pipeline (:mod:`repro.analysis.repair`) emits: the
+leak localizer picks a statement path, one of the transforms below
+rewrites it, and the relational checker re-proves the result.
+
+Three transforms, each a small composable rewrite addressed by a
+:func:`repro.lang.pretty.statement_paths` path:
+
+``linearize_branch``
+    Replace a (secret) ``If`` with straight-line predicated code: the
+    condition materializes into a fresh predicate register, register
+    writes become ``Select(d, p, value, d)`` merges, loads/stores
+    become DS-routed predicated read-modify-writes with the index
+    clamped into bounds (the dead path touches a decoy element instead
+    of trapping) — the ite-merge semantics the symbolic checker's
+    mitigated mode already models.
+
+``ds_route_access``
+    Set the ``ds`` flag on one ``Load``/``Store``: the access is
+    routed through the array's registered dataflow linearization set
+    in every execution mode, making its observable footprint the whole
+    DS — a constant.  Only legal when the interval analysis proves the
+    index stays inside the array (the driver checks with
+    :func:`repro.analysis.intervals.prove_ds_covers`).
+
+``pad_trip_count``
+    Rewrite ``For(v, count, body)`` with a (tainted) ``count`` into a
+    loop over the interval-proven upper bound, guarding each iteration
+    with ``v < count`` — the trip count becomes a public constant and
+    the residual secret branch is handled by a later
+    ``linearize_branch`` round.
+
+Every transform returns a :class:`TransformResult` carrying the new
+program plus an old→new **path remap**: untouched statements keep
+their (object) identity across the splice, so their new stable paths
+are recovered exactly; statements folded into the rewrite map to the
+rewrite's anchor path.  Diagnostics and provenance stay valid across
+a chain of transforms by composing the remaps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import TransformError
+from repro.lang import ir
+from repro.lang.pretty import path_index, statement_at, statement_paths
+from repro.lang.taint import _operands_of, _written_reg
+
+
+@dataclass(frozen=True)
+class TransformResult:
+    """One applied rewrite: the new program plus provenance plumbing."""
+
+    program: ir.Program
+    #: old stable path -> new stable path, for *every* old statement
+    remap: Dict[str, str]
+    #: ``"linearize" | "ds-route" | "pad-tripcount"``
+    kind: str
+    #: the old path the transform was addressed to
+    target: str
+    #: path of the rewrite's first statement in the new program
+    anchor: str
+    description: str
+    #: arrays whose accesses gained explicit DS routing
+    ds_arrays: Tuple[str, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Path-addressed splicing
+# ---------------------------------------------------------------------------
+
+
+def _parse_path(path: str) -> List[Tuple[str, int]]:
+    segments: List[Tuple[str, int]] = []
+    for part in path.split("."):
+        name, bracket, idx = part.partition("[")
+        if not bracket or not idx.endswith("]"):
+            raise TransformError(f"malformed statement path {path!r}")
+        segments.append((name, int(idx[:-1])))
+    if not segments or segments[0][0] != "body":
+        raise TransformError(f"statement path {path!r} must start at body")
+    return segments
+
+
+def _replace_in_body(
+    body: Tuple, segments: List[Tuple[str, int]], replacement: Tuple
+) -> Tuple:
+    _, idx = segments[0]
+    if not 0 <= idx < len(body):
+        raise TransformError(f"path index {idx} outside body of {len(body)}")
+    out = list(body)
+    if len(segments) == 1:
+        out[idx : idx + 1] = list(replacement)
+        return tuple(out)
+    stmt = body[idx]
+    child = segments[1][0]
+    if isinstance(stmt, ir.If) and child == "then":
+        new = dataclasses.replace(
+            stmt,
+            then_body=_replace_in_body(
+                stmt.then_body, segments[1:], replacement
+            ),
+        )
+    elif isinstance(stmt, ir.If) and child == "else":
+        new = dataclasses.replace(
+            stmt,
+            else_body=_replace_in_body(
+                stmt.else_body, segments[1:], replacement
+            ),
+        )
+    elif isinstance(stmt, ir.For) and child == "body":
+        new = dataclasses.replace(
+            stmt, body=_replace_in_body(stmt.body, segments[1:], replacement)
+        )
+    else:
+        raise TransformError(
+            f"path segment {child!r} does not match {type(stmt).__name__}"
+        )
+    out[idx] = new
+    return tuple(out)
+
+
+def splice(
+    program: ir.Program,
+    path: str,
+    replacement: Sequence,
+    kind: str,
+    description: str,
+    ds_arrays: Tuple[str, ...] = (),
+) -> TransformResult:
+    """Replace the statement at ``path`` with ``replacement``.
+
+    The tree spine above the target is rebuilt; every other statement
+    object is reused, so the old→new path remap is recovered by object
+    identity.  Old paths inside the replaced subtree map to the
+    rewrite's anchor (the replacement starts at the target's slot, so
+    the anchor string equals ``path``).
+    """
+    new_body = _replace_in_body(
+        program.body, _parse_path(path), tuple(replacement)
+    )
+    new_program = dataclasses.replace(program, body=new_body)
+    new_index = path_index(new_program)
+    remap: Dict[str, str] = {}
+    for old_path, stmt in statement_paths(program):
+        remap[old_path] = new_index.get(id(stmt), path)
+    return TransformResult(
+        program=new_program,
+        remap=remap,
+        kind=kind,
+        target=path,
+        anchor=path,
+        description=description,
+        ds_arrays=ds_arrays,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fresh names and definedness
+# ---------------------------------------------------------------------------
+
+
+class _Fresh:
+    """Generate register names no statement or input uses."""
+
+    def __init__(self, program: ir.Program) -> None:
+        used: Set[str] = set(program.all_inputs)
+        for _, stmt in statement_paths(program):
+            written = _written_reg(stmt)
+            if written is not None:
+                used.add(written)
+            for operand in _operands_of(stmt):
+                if isinstance(operand, str):
+                    used.add(operand)
+        self.used = used
+        self.counter = 0
+
+    def __call__(self, tag: str) -> str:
+        while True:
+            name = f"__{tag}{self.counter}"
+            self.counter += 1
+            if name not in self.used:
+                self.used.add(name)
+                return name
+
+
+def _defined_before(program: ir.Program, path: str) -> Set[str]:
+    """Registers possibly defined before ``path`` runs (pre-order)."""
+    defined: Set[str] = set(program.all_inputs)
+    for candidate, stmt in statement_paths(program):
+        if candidate == path:
+            return defined
+        written = _written_reg(stmt)
+        if written is not None:
+            defined.add(written)
+    raise TransformError(f"no statement at path {path!r}")
+
+
+def _region_registers(body: Tuple) -> Tuple[Set[str], Set[str]]:
+    """``(written, read)`` register sets over a statement subtree."""
+    written: Set[str] = set()
+    read: Set[str] = set()
+    stack = list(body)
+    while stack:
+        stmt = stack.pop()
+        w = _written_reg(stmt)
+        if w is not None:
+            written.add(w)
+        for operand in _operands_of(stmt):
+            if isinstance(operand, str):
+                read.add(operand)
+        if isinstance(stmt, ir.If):
+            stack.extend(stmt.then_body)
+            stack.extend(stmt.else_body)
+        elif isinstance(stmt, ir.For):
+            stack.extend(stmt.body)
+    return written, read
+
+
+# ---------------------------------------------------------------------------
+# Branch linearization
+# ---------------------------------------------------------------------------
+
+
+class _Linearizer:
+    def __init__(self, program: ir.Program, fresh: _Fresh) -> None:
+        self.sizes = {d.name: d.size for d in program.arrays}
+        self.fresh = fresh
+        self.ds_arrays: Set[str] = set()
+        self.out: List = []
+
+    def expand(self, stmt: ir.If) -> Tuple:
+        self._branch(stmt, outer=None)
+        return tuple(self.out)
+
+    def _clamped_index(self, array: str, index: ir.Operand) -> ir.Operand:
+        """An in-bounds index: the dead path decoys instead of trapping.
+
+        Power-of-two sizes clamp with a mask, others with ``mod`` —
+        both are the identity for the live path's in-bounds indices
+        and keep the interval analysis' bound exact, so DS coverage
+        stays provable.  (This relaxes the native trap-on-OOB
+        semantics for invalid inputs, exactly like the executor's
+        decoy-to-index-0 rule for dead predicated accesses.)
+        """
+        size = self.sizes[array]
+        if isinstance(index, int) and 0 <= index < size:
+            return index
+        clamped = self.fresh("i")
+        if size & (size - 1) == 0:
+            self.out.append(ir.BinOp(clamped, "and", index, size - 1))
+        else:
+            self.out.append(ir.BinOp(clamped, "mod", index, size))
+        return clamped
+
+    def _branch(self, stmt: ir.If, outer) -> None:
+        # Materialize BOTH direction predicates before either body runs
+        # (a body may overwrite the condition register).
+        taken = self.fresh("p")
+        self.out.append(ir.BinOp(taken, "ne", stmt.cond, 0))
+        fallthrough = None
+        if stmt.else_body:
+            fallthrough = self.fresh("p")
+            self.out.append(ir.BinOp(fallthrough, "xor", taken, 1))
+        if outer is not None:
+            combined = self.fresh("p")
+            self.out.append(ir.BinOp(combined, "and", outer, taken))
+            taken = combined
+            if fallthrough is not None:
+                combined = self.fresh("p")
+                self.out.append(
+                    ir.BinOp(combined, "and", outer, fallthrough)
+                )
+                fallthrough = combined
+        self._body(stmt.then_body, taken)
+        if stmt.else_body:
+            self._body(stmt.else_body, fallthrough)
+
+    def _body(self, body: Tuple, pred: str) -> None:
+        for stmt in body:
+            if isinstance(stmt, ir.If):
+                self._branch(stmt, outer=pred)
+            elif isinstance(stmt, ir.For):
+                raise TransformError(
+                    f"loop over {stmt.var!r} inside a linearized branch: "
+                    "its trip count would become secret-dependent "
+                    "(pad the trip count first)"
+                )
+            elif isinstance(stmt, ir.Load):
+                self._load(stmt, pred)
+            elif isinstance(stmt, ir.Store):
+                self._store(stmt, pred)
+            elif isinstance(stmt, ir.Const):
+                self.out.append(
+                    ir.Select(stmt.dst, pred, stmt.value, stmt.dst)
+                )
+            elif isinstance(stmt, ir.BinOp):
+                tmp = self.fresh("t")
+                self.out.append(
+                    ir.BinOp(tmp, stmt.op, stmt.a, stmt.b)
+                )
+                self.out.append(ir.Select(stmt.dst, pred, tmp, stmt.dst))
+            elif isinstance(stmt, ir.Select):
+                tmp = self.fresh("t")
+                self.out.append(
+                    ir.Select(tmp, stmt.cond, stmt.if_true, stmt.if_false)
+                )
+                self.out.append(ir.Select(stmt.dst, pred, tmp, stmt.dst))
+            else:  # pragma: no cover - exhaustive over the IR
+                raise TransformError(f"unknown statement {stmt!r}")
+
+    def _load(self, stmt: ir.Load, pred: str) -> None:
+        index = self._clamped_index(stmt.array, stmt.index)
+        tmp = self.fresh("t")
+        self.out.append(ir.Load(tmp, stmt.array, index, ds=True))
+        self.out.append(ir.Select(stmt.dst, pred, tmp, stmt.dst))
+        self.ds_arrays.add(stmt.array)
+
+    def _store(self, stmt: ir.Store, pred: str) -> None:
+        # Predicated read-modify-write with an identical footprint
+        # either way (the executor's ctx.rmw rule, spelled out).
+        index = self._clamped_index(stmt.array, stmt.index)
+        old = self.fresh("t")
+        merged = self.fresh("t")
+        self.out.append(ir.Load(old, stmt.array, index, ds=True))
+        self.out.append(ir.Select(merged, pred, stmt.value, old))
+        self.out.append(ir.Store(stmt.array, index, merged, ds=True))
+        self.ds_arrays.add(stmt.array)
+
+
+def linearize_branch(program: ir.Program, path: str) -> TransformResult:
+    """Rewrite the ``If`` at ``path`` into predicated straight-line code."""
+    stmt = statement_at(program, path)
+    if not isinstance(stmt, ir.If):
+        raise TransformError(
+            f"linearize_branch needs an If at {path}, found "
+            f"{type(stmt).__name__}"
+        )
+    fresh = _Fresh(program)
+    linearizer = _Linearizer(program, fresh)
+    body = linearizer.expand(stmt)
+    # Registers the region reads or merges against but that may be
+    # undefined when the branch is not taken natively: give them a
+    # defined (zero) value so the always-executed merges are total.
+    written, read = _region_registers((stmt,))
+    defined = _defined_before(program, path)
+    need_init = sorted((written | read) - defined)
+    inits = tuple(ir.Const(name, 0) for name in need_init)
+    return splice(
+        program,
+        path,
+        inits + body,
+        kind="linearize",
+        description=(
+            f"linearized secret branch on {stmt.cond!r}: "
+            f"{len(body)} predicated statement(s)"
+            + (f", {len(inits)} zero-init(s)" if inits else "")
+        ),
+        ds_arrays=tuple(sorted(linearizer.ds_arrays)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# DS routing
+# ---------------------------------------------------------------------------
+
+
+def ds_route_access(program: ir.Program, path: str) -> TransformResult:
+    """Set the ``ds`` flag on the ``Load``/``Store`` at ``path``."""
+    stmt = statement_at(program, path)
+    if not isinstance(stmt, (ir.Load, ir.Store)):
+        raise TransformError(
+            f"ds_route_access needs a Load/Store at {path}, found "
+            f"{type(stmt).__name__}"
+        )
+    if stmt.ds:
+        raise TransformError(f"access at {path} is already DS-routed")
+    routed = dataclasses.replace(stmt, ds=True)
+    return splice(
+        program,
+        path,
+        (routed,),
+        kind="ds-route",
+        description=(
+            f"routed {type(stmt).__name__.lower()} of {stmt.array!r} "
+            f"through its DS (observable footprint becomes the whole set)"
+        ),
+        ds_arrays=(stmt.array,),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Trip-count padding
+# ---------------------------------------------------------------------------
+
+
+def pad_trip_count(
+    program: ir.Program, path: str, bound: int
+) -> TransformResult:
+    """Pad the ``For`` at ``path`` to ``bound`` guarded iterations."""
+    stmt = statement_at(program, path)
+    if not isinstance(stmt, ir.For):
+        raise TransformError(
+            f"pad_trip_count needs a For at {path}, found "
+            f"{type(stmt).__name__}"
+        )
+    if bound < 0:
+        raise TransformError(f"trip-count bound {bound} is negative")
+    fresh = _Fresh(program)
+    # Snapshot the count: the executor evaluates a For's count once at
+    # entry, so a body that overwrites the count register must not
+    # change how many guarded iterations run.
+    count = fresh("n")
+    live = fresh("p")
+    replacement = (
+        ir.BinOp(count, "add", stmt.count, 0),
+        ir.For(
+            stmt.var,
+            bound,
+            (
+                ir.BinOp(live, "lt", stmt.var, count),
+                ir.If(live, then_body=stmt.body, else_body=()),
+            ),
+        ),
+    )
+    return splice(
+        program,
+        path,
+        replacement,
+        kind="pad-tripcount",
+        description=(
+            f"padded loop over {stmt.var!r} from count {stmt.count!r} "
+            f"to {bound} guarded iteration(s)"
+        ),
+    )
+
+
+def compose_remaps(
+    first: Dict[str, str], second: Dict[str, str]
+) -> Dict[str, str]:
+    """The remap of applying ``first`` then ``second``."""
+    return {
+        old: second.get(new, new) for old, new in first.items()
+    }

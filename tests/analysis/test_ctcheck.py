@@ -156,3 +156,91 @@ class TestCLI:
         assert (
             f"checked {targets} target(s)" in capsys.readouterr().out
         )
+
+
+class TestRepairMode:
+    def test_repair_flag_fixes_and_exits_zero(self, capsys):
+        code = main(
+            ["ctcheck", "--program", "lookup", "--no-workloads",
+             "--repair"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CT-REPAIR" in out
+        assert "repaired program proved constant-time" in out
+
+    def test_repair_json_carries_repair_results(self, capsys):
+        code = main(
+            ["ctcheck", "--program", "lookup", "--no-workloads",
+             "--repair", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        entry = payload["repairs"]["lookup"]
+        assert entry["verdict"] == "proved"
+        assert entry["rounds"] >= 1
+        assert entry["transforms"]
+        assert entry["overhead"]["vs_manual"] <= 1.5
+        # One CT-REPAIR finding per applied transform.
+        repairs = [
+            f for f in payload["findings"] if f["rule"] == "CT-REPAIR"
+        ]
+        assert len(repairs) == len(entry["transforms"])
+
+    def test_json_without_repair_has_no_repairs_key(self, capsys):
+        # Byte-stability: adding the feature must not change the JSON
+        # shape of non-repair runs.
+        main(
+            ["ctcheck", "--program", "lookup", "--no-workloads",
+             "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert "repairs" not in payload
+
+    def test_repair_out_dumps_repaired_ir(self, capsys, tmp_path):
+        out_file = tmp_path / "repaired.txt"
+        code = main(
+            ["ctcheck", "--program", "lookup", "--no-workloads",
+             "--repair", "--repair-out", str(out_file)]
+        )
+        assert code == 0
+        text = out_file.read_text()
+        assert "lookup" in text
+        assert "# " in text  # the summary header line
+        assert "[ds]" in text  # the routed access in the dumped IR
+
+    def test_max_rounds_is_threaded_through(self, capsys):
+        # A 0-round budget cannot repair anything: the terminal
+        # finding degrades to the inconclusive warning.
+        code = main(
+            ["ctcheck", "--program", "lookup", "--no-workloads",
+             "--repair", "--max-rounds", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # warnings do not fail the gate
+        assert "automatic repair inconclusive" in out
+
+    def test_ct_repair_rule_ships_in_catalog(self):
+        from repro.analysis.ctlint import RULES
+
+        severity, _ = RULES["CT-REPAIR"]
+        assert severity == "info"
+
+    def test_run_ctcheck_computes_facts_once_per_program(
+        self, monkeypatch
+    ):
+        calls = []
+        real = api.program_facts
+
+        def counting(program):
+            calls.append(program.name)
+            return real(program)
+
+        monkeypatch.setattr(api, "program_facts", counting)
+        run_ctcheck(
+            programs=["lookup"],
+            include_workloads=False,
+            symbolic=True,
+            replay=False,
+        )
+        assert calls == ["lookup"]

@@ -1,0 +1,379 @@
+"""Path-addressed IR rewrites: splicing, remaps, and equivalence."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.experiments.config import build_context
+from repro.lang import ir
+from repro.lang.executor import run_program
+from repro.lang.pretty import statement_at, statement_paths
+from repro.lang.programs import (
+    binary_search_program,
+    conditional_sum_program,
+    demo_inputs,
+    histogram_program,
+    lookup_program,
+)
+from repro.lang.taint import analyze, backward_slice
+from repro.lang.transforms import (
+    compose_remaps,
+    ds_route_access,
+    linearize_branch,
+    pad_trip_count,
+)
+
+
+def _secret_if_path(program):
+    report = analyze(program, strict=False)
+    for path, stmt in statement_paths(program):
+        if isinstance(stmt, ir.If) and report.is_secret_branch(stmt):
+            return path
+    raise AssertionError("no secret branch")
+
+
+def _run_pair(original, transformed, inputs, arrays, mitigate_original):
+    a = run_program(
+        original,
+        build_context("ct"),
+        dict(inputs),
+        {k: list(v) for k, v in arrays.items()},
+        mitigate=mitigate_original,
+    )
+    b = run_program(
+        transformed,
+        build_context("ct"),
+        dict(inputs),
+        {k: list(v) for k, v in arrays.items()},
+        mitigate=False,
+    )
+    return a, b
+
+
+class TestDsRoute:
+    def test_sets_flag_and_keeps_every_other_statement(self):
+        program, _ = lookup_program(64)
+        result = ds_route_access(program, "body[1]")
+        routed = statement_at(result.program, "body[1]")
+        assert routed.ds is True
+        assert statement_at(result.program, "body[0]") is program.body[0]
+
+    def test_remap_is_identity(self):
+        program, _ = lookup_program(64)
+        result = ds_route_access(program, "body[1]")
+        for path, _ in statement_paths(program):
+            assert result.remap[path] == path
+
+    def test_rejects_non_access_and_double_route(self):
+        program, _ = lookup_program(64)
+        with pytest.raises(TransformError):
+            ds_route_access(program, "body[0]")
+        once = ds_route_access(program, "body[1]").program
+        with pytest.raises(TransformError):
+            ds_route_access(once, "body[1]")
+
+    def test_native_run_matches_reference(self):
+        program, reference = lookup_program(64)
+        result = ds_route_access(program, "body[1]")
+        inputs, arrays = demo_inputs("lookup", 64, seed=2)
+        got = run_program(
+            result.program,
+            build_context("ct"),
+            dict(inputs),
+            {k: list(v) for k, v in arrays.items()},
+            mitigate=False,
+        )
+        assert got == reference(inputs, arrays)
+
+
+class TestLinearizeBranch:
+    def test_no_ifs_remain_under_target(self):
+        program, _ = conditional_sum_program(8)
+        path = _secret_if_path(program)
+        result = linearize_branch(program, path)
+        for _, stmt in statement_paths(result.program):
+            assert not isinstance(stmt, ir.If)
+
+    def test_equivalent_to_mitigated_original(self):
+        program, _ = conditional_sum_program(8)
+        result = linearize_branch(program, _secret_if_path(program))
+        inputs, arrays = demo_inputs("conditional_sum", 8, seed=5)
+        a, b = _run_pair(program, result.program, inputs, arrays, True)
+        assert a == b
+
+    def test_zero_inits_registers_only_defined_in_branch(self):
+        # histogram defines t/t0 only inside the If: the linearized
+        # merges read them, so they must be initialized first.
+        program, _ = histogram_program(16, 8)
+        path = _secret_if_path(program)
+        result = linearize_branch(program, path)
+        inits = [
+            stmt
+            for _, stmt in statement_paths(result.program)
+            if isinstance(stmt, ir.Const)
+            and stmt.dst in ("t", "t0")
+            and stmt.value == 0
+        ]
+        assert len(inits) == 2
+        inputs, arrays = demo_inputs("histogram", 8, seed=1)
+        a, b = _run_pair(program, result.program, inputs, arrays, True)
+        assert a == b
+
+    def test_predicates_materialize_before_bodies(self):
+        # The then-body clobbers the condition register: both direction
+        # predicates must be captured before either body runs.
+        program = ir.Program(
+            name="clobber",
+            secret_inputs=("s",),
+            body=(
+                ir.BinOp("c", "gt", "s", 5),
+                ir.If(
+                    "c",
+                    then_body=(ir.Const("c", 0), ir.Const("r", 1)),
+                    else_body=(ir.Const("r", 2),),
+                ),
+            ),
+            outputs=("r", "c"),
+        )
+        result = linearize_branch(program, "body[1]")
+        for s in (0, 9):
+            a = run_program(
+                program, build_context("ct"), {"s": s}, mitigate=True
+            )
+            b = run_program(
+                result.program,
+                build_context("ct"),
+                {"s": s},
+                mitigate=False,
+            )
+            assert a == b
+
+    def test_nested_if_folds_predicates(self):
+        program = ir.Program(
+            name="nested",
+            secret_inputs=("s",),
+            body=(
+                ir.Const("r", 0),
+                ir.BinOp("a", "gt", "s", 4),
+                ir.BinOp("b", "gt", "s", 8),
+                ir.If(
+                    "a",
+                    then_body=(
+                        ir.If(
+                            "b",
+                            then_body=(ir.Const("r", 2),),
+                            else_body=(ir.Const("r", 1),),
+                        ),
+                    ),
+                    else_body=(),
+                ),
+            ),
+            outputs=("r",),
+        )
+        result = linearize_branch(program, "body[3]")
+        for s in (0, 6, 12):
+            a = run_program(
+                program, build_context("ct"), {"s": s}, mitigate=True
+            )
+            b = run_program(
+                result.program,
+                build_context("ct"),
+                {"s": s},
+                mitigate=False,
+            )
+            assert a == b
+
+    def test_loads_and_stores_become_ds_routed(self):
+        program, _ = binary_search_program(64)
+        # binary_search's If bodies hold only BinOps; build a branch
+        # with an access to exercise the predicated RMW expansion.
+        prog = ir.Program(
+            name="store_branch",
+            secret_inputs=("s",),
+            arrays=(ir.ArrayDecl("a", 8),),
+            body=(
+                ir.BinOp("c", "gt", "s", 5),
+                ir.If(
+                    "c",
+                    then_body=(ir.Store("a", 3, 7),),
+                    else_body=(),
+                ),
+            ),
+            output_arrays=("a",),
+        )
+        result = linearize_branch(prog, "body[1]")
+        accesses = [
+            stmt
+            for _, stmt in statement_paths(result.program)
+            if isinstance(stmt, (ir.Load, ir.Store))
+        ]
+        assert accesses and all(stmt.ds for stmt in accesses)
+        assert result.ds_arrays == ("a",)
+        for s in (0, 9):
+            a = run_program(
+                prog,
+                build_context("ct"),
+                {"s": s},
+                {"a": list(range(8))},
+                mitigate=True,
+            )
+            b = run_program(
+                result.program,
+                build_context("ct"),
+                {"s": s},
+                {"a": list(range(8))},
+                mitigate=False,
+            )
+            assert a == b
+
+    def test_rejects_loop_in_region_and_non_if_target(self):
+        program = ir.Program(
+            name="loop_in_branch",
+            secret_inputs=("s",),
+            body=(
+                ir.BinOp("c", "gt", "s", 5),
+                ir.If(
+                    "c",
+                    then_body=(ir.For("i", 3, (ir.Const("x", 1),)),),
+                    else_body=(),
+                ),
+            ),
+            outputs=("c",),
+        )
+        with pytest.raises(TransformError):
+            linearize_branch(program, "body[1]")
+        with pytest.raises(TransformError):
+            linearize_branch(program, "body[0]")
+
+
+class TestPadTripCount:
+    def _program(self):
+        return ir.Program(
+            name="padme",
+            inputs=("n",),
+            secret_inputs=("s",),
+            arrays=(ir.ArrayDecl("data", 8),),
+            body=(
+                ir.Const("acc", 0),
+                ir.For(
+                    "i",
+                    "n",
+                    (
+                        ir.Load("v", "data", "i"),
+                        ir.BinOp("acc", "add", "acc", "v"),
+                    ),
+                ),
+            ),
+            outputs=("acc",),
+        )
+
+    def test_equivalent_for_every_count(self):
+        program = self._program()
+        result = pad_trip_count(program, "body[1]", 8)
+        data = list(range(10, 18))
+        for n in range(9):
+            a = run_program(
+                program,
+                build_context("ct"),
+                {"n": n, "s": 0},
+                {"data": data},
+                mitigate=False,
+            )
+            b = run_program(
+                result.program,
+                build_context("ct"),
+                {"n": n, "s": 0},
+                {"data": data},
+                mitigate=False,
+            )
+            assert a == b
+
+    def test_count_snapshot_survives_body_clobber(self):
+        # The body overwrites the count register; the padded loop must
+        # still run the originally-requested number of live iterations.
+        program = ir.Program(
+            name="clobber_count",
+            inputs=("n",),
+            secret_inputs=("s",),
+            body=(
+                ir.Const("acc", 0),
+                ir.For(
+                    "i",
+                    "n",
+                    (
+                        ir.BinOp("acc", "add", "acc", 1),
+                        ir.Const("n", 0),
+                    ),
+                ),
+            ),
+            outputs=("acc",),
+        )
+        result = pad_trip_count(program, "body[1]", 8)
+        for n in (0, 3, 8):
+            a = run_program(
+                program,
+                build_context("ct"),
+                {"n": n, "s": 0},
+                mitigate=False,
+            )
+            b = run_program(
+                result.program,
+                build_context("ct"),
+                {"n": n, "s": 0},
+                mitigate=False,
+            )
+            assert a == b
+
+    def test_rejects_non_for_and_negative_bound(self):
+        program = self._program()
+        with pytest.raises(TransformError):
+            pad_trip_count(program, "body[0]", 8)
+        with pytest.raises(TransformError):
+            pad_trip_count(program, "body[1]", -1)
+
+
+class TestRemaps:
+    def test_statements_after_splice_point_keep_identity_paths(self):
+        program, _ = binary_search_program(64)
+        path = _secret_if_path(program)
+        result = linearize_branch(program, path)
+        # Statements outside the rewritten subtree map to themselves;
+        # the replaced subtree and the rebuilt spine above it map to
+        # the rewrite's anchor.
+        for old_path, stmt in statement_paths(program):
+            new_path = result.remap[old_path]
+            rebuilt = (
+                old_path.startswith(path)
+                or path.startswith(old_path + ".")
+                or old_path == path
+            )
+            if rebuilt:
+                assert new_path == path
+            else:
+                assert statement_at(result.program, new_path) is stmt
+
+    def test_compose_remaps_chains_two_transforms(self):
+        program, _ = binary_search_program(64)
+        first = linearize_branch(program, _secret_if_path(program))
+        second = ds_route_access(first.program, "body[2].body[3]")
+        chained = compose_remaps(first.remap, second.remap)
+        for old_path in dict(statement_paths(program)):
+            assert chained[old_path] == second.remap.get(
+                first.remap[old_path], first.remap[old_path]
+            )
+
+
+class TestBackwardSlice:
+    def test_slice_includes_data_and_control_deps(self):
+        program, _ = binary_search_program(64)
+        # 'go' is computed from v (a load from haystack[mid]) and the
+        # secret needle; mid comes from lo/hi which the If writes.
+        paths = backward_slice(program, ("go",))
+        sliced = set(paths)
+        assert "body[2].body[4]" in sliced  # go = v lt needle
+        assert "body[2].body[3]" in sliced  # v = haystack[mid]
+        assert "body[2].body[1]" in sliced  # mid = s shr 1
+        assert "body[2]" in sliced  # the enclosing For
+
+    def test_constant_target_slices_nothing(self):
+        program, _ = lookup_program(64)
+        assert backward_slice(program, (5,)) == ()
