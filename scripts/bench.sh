@@ -2,6 +2,7 @@
 # One entry point for the performance measurements:
 #   * the raw hot-path throughput (loads/s, CTLoads/s) -> BENCH_hotpath.json
 #   * the bulk DS-sweep kernels + fork-based sanitizer -> BENCH_sweep.json
+#   * the parallel/cached verification engine          -> BENCH_analysis.json
 #
 # Both reports carry their seed baselines, so the speedup ratios stay
 # visible; the perf-marked pytest wrappers in benchmarks/ assert the
@@ -18,3 +19,6 @@ python benchmarks/bench_simulator_hotpath.py
 
 echo "== bulk DS-sweep kernels + warm-start sanitizer (BENCH_sweep.json)"
 python -m repro bench --write "$@"
+
+echo "== parallel/cached verification engine (BENCH_analysis.json)"
+python benchmarks/bench_analysis_pipeline.py

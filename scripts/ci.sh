@@ -4,10 +4,14 @@
 #   1. style lint (ruff, when installed; config in pyproject.toml)
 #   2. tier-1 test suite (pytest tests/ — includes the fault-injection
 #      resilience tests and the crash/resume store tests)
-#   3. the domain lint: `python -m repro ctcheck --all` — the
+#   3. the domain lint: `python -m repro ctcheck --all --jobs 2` — the
 #      constant-time checker over every built-in IR program and every
 #      workload's registered DS linearization sets (exits 1 on
-#      error-severity findings)
+#      error-severity findings), fanned across the verification
+#      engine's worker pool and populating a verdict cache; a second
+#      warm pass must then serve every target from the cache
+#      (re-checking anything means the content-addressed keys or the
+#      cache round-trip regressed)
 #   4. the symbolic relational smoke (scripts/symrel_smoke.py):
 #      every builtin's native variant must be refuted with a
 #      replay-confirmed secret pair (or, for the speculative fixture,
@@ -36,8 +40,15 @@ fi
 echo "== tier-1 tests (pytest tests/)"
 python -m pytest tests/ -q "$@"
 
-echo "== constant-time check (python -m repro ctcheck --all)"
-python -m repro ctcheck --all
+echo "== constant-time check (python -m repro ctcheck --all --jobs 2)"
+VCACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$VCACHE_DIR"' EXIT
+python -m repro ctcheck --all --jobs 2 --vcache "$VCACHE_DIR"
+
+echo "== ctcheck warm verdict-cache pass (must re-check nothing)"
+warm_err="$(python -m repro ctcheck --all --vcache "$VCACHE_DIR" 2>&1 >/dev/null)"
+echo "$warm_err"
+grep -q "0 target(s) checked" <<<"$warm_err"
 
 echo "== symbolic relational smoke (scripts/symrel_smoke.py)"
 python scripts/symrel_smoke.py

@@ -215,8 +215,13 @@ class CTCheckResult:
     #: ``--repair`` mode only: program name -> its RepairResult
     #: (:class:`repro.analysis.repair.RepairResult`), for callers that
     #: want the repaired IR, transforms, and overhead — the findings
-    #: list carries the serializable CT-REPAIR provenance
+    #: list carries the serializable CT-REPAIR provenance; results
+    #: produced through the engine carry ``residual=None``
     repairs: Dict[str, object] = field(default_factory=dict)
+    #: solver counters summed over *every* checked program (symbolic
+    #: or repair runs only) — previously only the last program's stats
+    #: were observable through the per-variant results
+    solver_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def errors(self) -> List[Finding]:
@@ -249,6 +254,10 @@ class CTCheckResult:
             "counts": self.counts(),
             "exit_code": self.exit_code,
         }
+        if self.solver_stats:
+            # Key present only when the symbolic checker actually ran,
+            # so plain-lint --json output stays byte-identical.
+            out["solver_stats"] = dict(self.solver_stats)
         if self.repairs:
             # Key present only in --repair runs, so non-repair --json
             # output stays byte-identical to previous releases.
@@ -358,6 +367,8 @@ def run_ctcheck(
     replay: bool = True,
     repair: bool = False,
     repair_max_rounds: int = 12,
+    jobs: int = 1,
+    vcache=None,
 ) -> CTCheckResult:
     """Check built-in IR programs and/or workload DS registrations.
 
@@ -378,14 +389,23 @@ def run_ctcheck(
     (:func:`repro.analysis.repair.repair_program`) over each program
     instead of merely diagnosing it: applied transforms surface as
     ``CT-REPAIR`` findings, a residual (irreparable) leak as a
-    ``CT-REL`` error, and the full per-program
+    ``CT-REL`` error, and the per-program
     :class:`~repro.analysis.repair.RepairResult` objects ride on
-    ``CTCheckResult.repairs``.
+    ``CTCheckResult.repairs`` (``residual`` stripped — it pins the
+    symbolic exploration's term DAGs).
 
-    Each program's taint and interval analyses are computed **once**
-    (:func:`repro.analysis.facts.program_facts`) and shared across the
-    linter, both relational variants, and the repair driver.
+    Every target runs through the verification engine
+    (:mod:`repro.analysis.engine`): each program is checked under a
+    fresh intern scope with one solver shared across the
+    lint/native/mitigated/repair passes, ``jobs > 1`` fans targets
+    across a process pool, and ``vcache`` (a
+    :class:`~repro.analysis.vcache.VerdictCache`) serves unchanged
+    targets their cached findings bit-identically.  Findings are
+    merged in target order (programs in request order, then
+    workloads), so ``--json`` output is byte-identical between
+    serial, parallel, and cached runs.
     """
+    from repro.analysis.engine import CheckSpec, run_check_specs
     from repro.workloads import WORKLOADS
 
     result = CTCheckResult()
@@ -393,33 +413,20 @@ def run_ctcheck(
     program_names = (
         list(programs) if programs is not None else sorted(registry)
     )
+    specs: List[CheckSpec] = []
     for name in program_names:
-        program = registry[name]()
-        facts = program_facts(program)
-        result.findings.extend(check_program(program, facts=facts))
-        if symbolic:
-            from repro.analysis.symrel import symrel_findings
-
-            result.findings.extend(
-                symrel_findings(
-                    program,
-                    spec_window=spec_window,
-                    replay=replay,
-                    taint=facts.taint,
-                    intervals=facts.intervals,
-                )
-            )
-        if repair:
-            from repro.analysis.repair import repair_program
-
-            repair_result = repair_program(
-                program,
-                max_rounds=repair_max_rounds,
+        specs.append(
+            CheckSpec(
+                kind="program",
+                name=name,
+                program=registry[name](),
+                symbolic=symbolic,
                 spec_window=spec_window,
+                replay=replay,
+                repair=repair,
+                repair_max_rounds=repair_max_rounds,
             )
-            result.repairs[name] = repair_result
-            result.findings.extend(_repair_findings(name, repair_result))
-        result.checked.append(f"program:{name}")
+        )
     if include_workloads:
         workload_names = (
             list(workloads)
@@ -427,6 +434,23 @@ def run_ctcheck(
             else sorted(WORKLOADS)
         )
         for name in workload_names:
-            result.findings.extend(audit_workload_ds(name, seed=seed))
-            result.checked.append(f"workload:{name}")
+            descriptor = WORKLOADS[name]
+            specs.append(
+                CheckSpec(
+                    kind="workload",
+                    name=name,
+                    size=AUDIT_SIZES.get(name, descriptor.sizes[0]),
+                    seed=seed,
+                )
+            )
+    outputs = run_check_specs(specs, jobs=jobs, vcache=vcache)
+    for spec, output in zip(specs, outputs):
+        result.findings.extend(output.findings)
+        result.checked.append(f"{spec.kind}:{spec.name}")
+        if output.repair is not None:
+            result.repairs[spec.name] = output.repair
+        for stat, value in output.solver_stats.items():
+            result.solver_stats[stat] = (
+                result.solver_stats.get(stat, 0) + value
+            )
     return result

@@ -305,11 +305,51 @@ def sanitize_program(
     secrets or the check is vacuous.  ``mitigate=False`` runs the
     insecure native execution (to demonstrate the leak the mitigation
     closes).
+
+    When every secret shares one initial array image (the common case:
+    the secret lives in an input register) the arrays are set up once
+    on the warmed template via :class:`~repro.lang.executor.WarmStart`
+    and each secret's run continues from a fork — the secret-
+    independent setup prefix is paid once and drops out of the
+    recorded observation window symmetrically, exactly like any other
+    ``warmup``.  Per-secret array images (or ``fork=False``) fall back
+    to full rebuild-and-replay.
     """
     from repro.experiments.config import build_context
+    from repro.lang.executor import WarmStart
+
+    assignments = {
+        secret: inputs_for_secret(secret) for secret in secrets
+    }
+    images = [arrays or {} for _, arrays in assignments.values()]
+    shared_image = fork and warmup is None and all(
+        image == images[0] for image in images[1:]
+    )
+
+    if shared_image:
+        template: Dict[str, WarmStart] = {}
+
+        def warm(ctx: MitigationContext) -> None:
+            template["t"] = WarmStart(
+                program, ctx, images[0], mitigate=mitigate
+            )
+
+        def run_fn(ctx: MitigationContext, secret: object) -> object:
+            inputs, _ = assignments[secret]
+            return template["t"].resume(ctx, inputs)
+
+        return sanitize(
+            lambda: build_context(scheme),
+            run_fn,
+            secrets=secrets,
+            levels=levels,
+            check_cycles=check_cycles,
+            warmup=warm,
+            fork=True,
+        )
 
     def run_fn(ctx: MitigationContext, secret: object) -> object:
-        inputs, arrays = inputs_for_secret(secret)
+        inputs, arrays = assignments[secret]
         return run_program(
             program, ctx, inputs, arrays, mitigate=mitigate
         )

@@ -372,25 +372,35 @@ class RelationalExplorer:
         ``rest`` is the continuation beyond the current structured
         statement — forks re-enter ``_walk`` with the remaining
         program, so every fork explores a *complete* path.
+
+        Straight-line statements advance an index into ``body``
+        iteratively: a fully unrolled loop is one long flat tuple, and
+        stepping it must be O(1) per statement (no per-statement tail
+        slice) and must not grow the Python stack (a 512-iteration
+        unroll would otherwise overflow the recursion limit).  Only
+        genuine forks recurse, bounded by branch-nesting depth.
         """
-        if not body:
-            if rest:
-                self._walk(rest[0], state, pred, depth, rest[1:])
-            else:
-                self.result.paths += 1
-                if self.result.paths > self.max_paths:
-                    raise _PathBudgetExceeded()
-            return
-        stmt, tail = body[0], body[1:]
-        self._step()
-        if isinstance(stmt, ir.If):
-            self._exec_if(stmt, state, pred, depth, (tail,) + rest)
-            return
-        if isinstance(stmt, ir.For):
-            self._exec_for(stmt, state, pred, depth, (tail,) + rest)
-            return
-        self._exec_simple(stmt, state, pred)
-        self._walk(tail, state, pred, depth, rest)
+        i = 0
+        while True:
+            if i >= len(body):
+                if not rest:
+                    self.result.paths += 1
+                    if self.result.paths > self.max_paths:
+                        raise _PathBudgetExceeded()
+                    return
+                body, rest = rest[0], rest[1:]
+                i = 0
+                continue
+            stmt = body[i]
+            i += 1
+            self._step()
+            if isinstance(stmt, ir.If):
+                self._exec_if(stmt, state, pred, depth, (body[i:],) + rest)
+                return
+            if isinstance(stmt, ir.For):
+                self._exec_for(stmt, state, pred, depth, (body[i:],) + rest)
+                return
+            self._exec_simple(stmt, state, pred)
 
     # -- straight-line statements ------------------------------------------
 
@@ -745,10 +755,11 @@ class RelationalExplorer:
                     f"loop over {stmt.var!r}: trip counts diverge "
                     "across the relational pair (secret trip count?)"
                 )
-            body: Tuple = ()
+            parts: List = []
             for i in range(count_a.value):
-                body = body + (ir.Const(stmt.var, i),) + stmt.body
-            self._walk(body, state, pred, depth, rest)
+                parts.append(ir.Const(stmt.var, i))
+                parts.extend(stmt.body)
+            self._walk(tuple(parts), state, pred, depth, rest)
             return
         # Symbolic trip count: take the unroll bound from the interval
         # analysis' trip-count facts (plus the term's own range), and

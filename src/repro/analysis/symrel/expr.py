@@ -31,7 +31,8 @@ a candidate model (the solver never needs a rewriting array theory).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.lang import ir
 
@@ -129,29 +130,78 @@ class ArrayState:
 _TERMS: Dict[Tuple, Term] = {}
 _STATES: Dict[Tuple, ArrayState] = {}
 
+#: Monotonic generation counter, bumped whenever the intern tables are
+#: cleared or swapped.  Pointer-keyed caches (the solver's memo tables)
+#: are only valid while the epoch is unchanged: after a swap, a dead
+#: term's ``id`` can be reused by a fresh allocation.
+_EPOCH = 0
+
+
+def intern_epoch() -> int:
+    """The current intern-table generation (see :func:`intern_scope`)."""
+    return _EPOCH
+
 
 def clear_intern_tables() -> None:
     """Drop the intern tables (test hygiene / long-lived processes)."""
+    global _EPOCH
     _TERMS.clear()
     _STATES.clear()
+    _EPOCH += 1
 
 
-def _intern(kind: str, args: Tuple, lo: int, hi: int) -> Term:
-    key = (kind,) + tuple(
-        id(a) if isinstance(a, (Term, ArrayState)) else a for a in args
-    )
-    term = _TERMS.get(key)
-    if term is None:
-        term = _TERMS[key] = Term(kind, args, lo, hi)
-    return term
+@contextmanager
+def intern_scope() -> Iterator[None]:
+    """Run one check under fresh, private intern tables.
+
+    Hash-consing makes structural equality pointer identity — but only
+    while every term of a comparison was interned into the *same*
+    table.  The tables therefore must not be cleared mid-check, and
+    without clearing they grow without bound across a multi-program
+    run (``ctcheck --all`` interns every term of every program
+    forever).  ``intern_scope`` resolves the tension: the body runs
+    against empty tables (pointer equality holds for everything built
+    inside), and on exit the scope's tables are dropped wholesale and
+    the previous tables restored untouched — memory stays flat per
+    check, and an outer scope's terms remain valid afterwards.
+
+    The epoch bump on entry *and* exit invalidates pointer-keyed
+    solver memos on both edges (a term id from a dropped table may be
+    reused by a later allocation).
+    """
+    global _TERMS, _STATES, _EPOCH
+    saved = (_TERMS, _STATES)
+    _TERMS, _STATES = {}, {}
+    _EPOCH += 1
+    try:
+        yield
+    finally:
+        _TERMS, _STATES = saved
+        _EPOCH += 1
+
+
+def intern_table_size() -> int:
+    """Number of live interned nodes (memory-flatness tests)."""
+    return len(_TERMS) + len(_STATES)
 
 
 def const(value: int) -> Term:
-    return _intern("const", (int(value),), int(value), int(value))
+    # Hottest constructor by far; the key is inlined (same shape
+    # ``_intern`` would build) to skip its per-argument dispatch.
+    value = int(value)
+    key = ("const", value)
+    term = _TERMS.get(key)
+    if term is None:
+        term = _TERMS[key] = Term("const", (value,), value, value)
+    return term
 
 
 def var(name: str, index: Optional[int] = None, side: Optional[str] = None) -> Term:
-    return _intern("var", (name, index, side), 0, MASK32)
+    key = ("var", name, index, side)
+    term = _TERMS.get(key)
+    if term is None:
+        term = _TERMS[key] = Term("var", (name, index, side), 0, MASK32)
+    return term
 
 
 def array_init(
@@ -338,8 +388,12 @@ def op(opname: str, a: Term, b: Term) -> Term:
     elif opname in ("shl", "shr"):
         if b.is_const and b.value == 0:
             return a
-    lo, hi = _bounds(opname, a, b)
-    return _intern("op", (opname, a, b), lo, hi)
+    key = ("op", opname, id(a), id(b))
+    term = _TERMS.get(key)
+    if term is None:
+        lo, hi = _bounds(opname, a, b)
+        term = _TERMS[key] = Term("op", (opname, a, b), lo, hi)
+    return term
 
 
 def ite(cond: Term, if_true: Term, if_false: Term) -> Term:
@@ -351,12 +405,16 @@ def ite(cond: Term, if_true: Term, if_false: Term) -> Term:
         return if_false
     if if_true is if_false:
         return if_true
-    return _intern(
-        "ite",
-        (cond, if_true, if_false),
-        min(if_true.lo, if_false.lo),
-        max(if_true.hi, if_false.hi),
-    )
+    key = ("ite", id(cond), id(if_true), id(if_false))
+    term = _TERMS.get(key)
+    if term is None:
+        term = _TERMS[key] = Term(
+            "ite",
+            (cond, if_true, if_false),
+            min(if_true.lo, if_false.lo),
+            max(if_true.hi, if_false.hi),
+        )
+    return term
 
 
 def read(state: ArrayState, index: Term) -> Term:
@@ -379,7 +437,11 @@ def read(state: ArrayState, index: Term) -> Term:
         # Out-of-bounds concrete read: the explorer constrains indices
         # in bounds, so this only appears on infeasible paths.
         return const(0)
-    return _intern("read", (state, index), 0, MASK32)
+    key = ("read", id(state), id(index))
+    term = _TERMS.get(key)
+    if term is None:
+        term = _TERMS[key] = Term("read", (state, index), 0, MASK32)
+    return term
 
 
 def bool_term(term: Term) -> Term:

@@ -81,6 +81,9 @@ class SolverStats:
     candidate: int = 0
     unknown: int = 0
     evals: int = 0
+    #: queries answered from the pointer-keyed memo tables without
+    #: re-running a decision tier (see :class:`Solver`)
+    memo_hits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -143,7 +146,20 @@ def _candidate_pool(terms: Sequence[Term]) -> List[int]:
 
 
 class Solver:
-    """Decides observation-pair equality under a path condition."""
+    """Decides observation-pair equality under a path condition.
+
+    Verdicts are memoized across queries: hash-consing makes terms
+    pointer-unique, so a whole ``(path, a, b)`` query keys on a tuple
+    of ``id``s — building the key is O(path length) with no term
+    traversal.  The two paired walks of one program (native then
+    mitigated), and the repair driver's re-proof after each transform
+    round, re-issue mostly-identical queries over shared subterms;
+    those come back as ``memo_hits`` without re-entering a decision
+    tier.  Memos are valid only within one intern-table generation
+    (:func:`repro.analysis.symrel.expr.intern_epoch`): a table swap
+    can recycle a dead term's ``id``, so both tables are dropped
+    whenever the epoch moves.
+    """
 
     def __init__(
         self,
@@ -153,6 +169,17 @@ class Solver:
         self.max_exhaustive_bits = max_exhaustive_bits
         self.max_candidate_evals = max_candidate_evals
         self.stats = SolverStats()
+        self._pair_memo: Dict[Tuple, CheckOutcome] = {}
+        self._sat_memo: Dict[Tuple, Optional[bool]] = {}
+        self._epoch = expr.intern_epoch()
+
+    def _fresh_memo(self) -> None:
+        """Drop the memos if the intern tables turned over."""
+        epoch = expr.intern_epoch()
+        if epoch != self._epoch:
+            self._epoch = epoch
+            self._pair_memo.clear()
+            self._sat_memo.clear()
 
     # -- public API --------------------------------------------------------
 
@@ -164,6 +191,19 @@ class Solver:
         if a is b:
             self.stats.structural += 1
             return CheckOutcome("equal", method="structural")
+        self._fresh_memo()
+        key = (id(a), id(b)) + tuple(id(t) for t in path)
+        hit = self._pair_memo.get(key)
+        if hit is not None:
+            self.stats.memo_hits += 1
+            return hit
+        outcome = self._decide_pair(path, a, b)
+        self._pair_memo[key] = outcome
+        return outcome
+
+    def _decide_pair(
+        self, path: Sequence[Term], a: Term, b: Term
+    ) -> CheckOutcome:
         constraint = list(path) + [a, b]
         outcome = self._try_exhaustive(constraint, path, a, b)
         if outcome is not None:
@@ -183,6 +223,16 @@ class Solver:
         on an infeasible path is vacuous, and every reported model is
         re-validated concretely).
         """
+        self._fresh_memo()
+        key = tuple(id(t) for t in path)
+        if key in self._sat_memo:
+            self.stats.memo_hits += 1
+            return self._sat_memo[key]
+        verdict = self._decide_satisfiable(path)
+        self._sat_memo[key] = verdict
+        return verdict
+
+    def _decide_satisfiable(self, path: Sequence[Term]) -> Optional[bool]:
         live: List[Term] = []
         for term in path:
             if term.is_const:

@@ -78,6 +78,15 @@ class ObservableTraceRecorder(CacheListener):
         """Resident lines + dirty bits + replacement order of every set."""
         state = []
         for cache in self._caches:
+            occupied = getattr(cache, "occupied_sets", None)
+            if occupied is not None:
+                # Fast path: only materialised, non-empty sets are
+                # visited — a dense scan over a 16k-set LLC dominated
+                # the sanitizer-replay profile for short programs.
+                name = cache.name
+                for set_idx, contents, order in occupied():
+                    state.append((name, set_idx, contents, order))
+                continue
             for set_idx in range(cache.num_sets):
                 contents = tuple(sorted(cache.set_contents(set_idx)))
                 order = cache.replacement_state(set_idx)

@@ -195,6 +195,10 @@ class SetAssociativeCache:
         # with the same per-set seed the eager constructor used, so
         # randomized-replacement streams are unchanged.
         self._sets: List[Optional[_CacheSet]] = [None] * num_sets
+        #: indices of materialised sets, in materialisation order — the
+        #: digest/snapshot paths iterate these instead of scanning all
+        #: ``num_sets`` entries (a 16 MiB LLC has 16384, mostly None)
+        self._live: List[int] = []
         self.events = EventBus(name)
         self.stats = CacheStats()
 
@@ -210,6 +214,7 @@ class SetAssociativeCache:
                     seed=self.replacement_seed + set_idx,
                 ),
             )
+            self._live.append(set_idx)
         return cset
 
     # -- geometry -------------------------------------------------------------
@@ -550,6 +555,42 @@ class SetAssociativeCache:
             if line is not None
         ]
 
+    def occupied_sets(
+        self,
+    ) -> List[Tuple[int, Tuple[Tuple[int, bool], ...], Tuple[int, ...]]]:
+        """``(set_idx, contents, order)`` for every non-empty set.
+
+        Equivalent to calling :meth:`set_contents` and
+        :meth:`replacement_state` over ``range(num_sets)`` and keeping
+        the non-empty ones, but touching only *materialised* sets —
+        after a short run most of a large LLC's sets were never
+        accessed, so digest consumers must not pay per-set cost for
+        them.  Order is ascending ``set_idx``, matching the dense scan.
+        """
+        out: List[Tuple[int, Tuple[Tuple[int, bool], ...], Tuple[int, ...]]] = []
+        for set_idx in sorted(self._live):
+            cset = self._sets[set_idx]
+            if not cset.by_addr:
+                continue
+            contents = tuple(
+                sorted(
+                    (line.line_addr, line.dirty)
+                    for line in cset.ways
+                    if line is not None
+                )
+            )
+            policy = cset.policy
+            if hasattr(policy, "recency_order"):
+                order = tuple(
+                    cset.ways[w].line_addr
+                    for w in policy.recency_order()
+                    if cset.ways[w] is not None
+                )
+            else:
+                order = tuple(sorted(cset.by_addr))
+            out.append((set_idx, contents, order))
+        return out
+
     def replacement_state(self, set_idx: int) -> Tuple[int, ...]:
         """Attacker-relevant replacement order of one set (LRU only).
 
@@ -581,9 +622,8 @@ class SetAssociativeCache:
         state must not detach observers (or the BIA) from a live bus.
         """
         sets = []
-        for set_idx, cset in enumerate(self._sets):
-            if cset is None:
-                continue
+        for set_idx in sorted(self._live):
+            cset = self._sets[set_idx]
             ways = tuple(
                 None if line is None else (line.line_addr, line.dirty)
                 for line in cset.ways
@@ -591,12 +631,19 @@ class SetAssociativeCache:
             sets.append((set_idx, ways, cset.policy.clone()))
         return CacheState(sets, self.stats.clone(), self._capture_extra())
 
-    def restore_state(self, state: CacheState) -> None:
-        """Install a snapshot taken by :meth:`capture_state`."""
+    def restore_state(self, state: CacheState, adopt: bool = False) -> None:
+        """Install a snapshot taken by :meth:`capture_state`.
+
+        ``adopt=True`` takes ownership of the snapshot's replacement
+        policies instead of cloning them — valid only when the caller
+        guarantees the snapshot is ephemeral and never restored again
+        (:meth:`Machine.fork` round-trips capture→restore, and cloning
+        each policy twice per fork dominated the fork cost).
+        """
         sets: List[Optional[_CacheSet]] = [None] * self.num_sets
         assoc = self.assoc
         for set_idx, ways, policy in state.sets:
-            cset = _CacheSet(assoc, policy.clone())
+            cset = _CacheSet(assoc, policy if adopt else policy.clone())
             cset_ways = cset.ways
             by_addr = cset.by_addr
             for way, rec in enumerate(ways):
@@ -605,6 +652,7 @@ class SetAssociativeCache:
                     by_addr[rec[0]] = way
             sets[set_idx] = cset
         self._sets = sets
+        self._live = [set_idx for set_idx, _, _ in state.sets]
         self.stats.load_from(state.stats)
         self._restore_extra(state.extra)
 

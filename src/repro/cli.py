@@ -129,6 +129,7 @@ def _cmd_experiments(args) -> int:
 
 def _cmd_ctcheck(args) -> int:
     import json
+    import sys
 
     from repro.analysis.api import BUILTIN_PROGRAM_SPECS, run_ctcheck
     from repro.analysis.ctlint import RULES, SEVERITY_ORDER
@@ -156,6 +157,11 @@ def _cmd_ctcheck(args) -> int:
     )
     if args.no_workloads:
         include_workloads = False
+    vcache = None
+    if args.vcache:
+        from repro.analysis.vcache import VerdictCache
+
+        vcache = VerdictCache(args.vcache)
     result = run_ctcheck(
         programs=programs,
         workloads=workloads,
@@ -166,7 +172,17 @@ def _cmd_ctcheck(args) -> int:
         replay=not args.no_replay,
         repair=args.repair,
         repair_max_rounds=args.max_rounds,
+        jobs=args.jobs,
+        vcache=vcache,
     )
+    if vcache is not None:
+        # Engine stats go to stderr so --json stdout stays
+        # byte-identical between cold, warm, and parallel runs.
+        print(
+            f"ctcheck engine: {vcache.stats.misses} target(s) checked, "
+            f"{vcache.stats.hits} served from verdict cache",
+            file=sys.stderr,
+        )
     if args.repair and args.repair_out:
         from repro.lang.pretty import dump
 
@@ -398,6 +414,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="with --repair: give up after N localize/transform/"
         "re-prove rounds per program (default 12)",
+    )
+    ctcheck.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="check independent targets across N worker processes "
+        "(output is byte-identical to a serial run)",
+    )
+    ctcheck.add_argument(
+        "--vcache",
+        metavar="DIR",
+        default=None,
+        help="on-disk verdict cache: unchanged targets are served "
+        "their previous findings bit-identically; any IR mutation, "
+        "checker-config change, or version bump forces a re-check",
     )
     ctcheck.set_defaults(fn=_cmd_ctcheck)
 

@@ -889,12 +889,19 @@ class Machine:
         state.prefetcher_issued = 0 if prefetcher is None else prefetcher.issued
         return state
 
-    def restore_state(self, state: "MachineState") -> None:
+    def restore_state(
+        self, state: "MachineState", _adopt: bool = False
+    ) -> None:
         """Install a :meth:`save_state` snapshot on this machine.
 
         Only *simulated* state is restored; who observes this machine
         (EventBus subscriptions, the BIA attachment, back-invalidator
         wiring) is construction-time plumbing and is left untouched.
+
+        ``_adopt=True`` (:meth:`fork`'s private fast path) lets the
+        restore take ownership of the snapshot's mutable pieces
+        instead of re-cloning them; the caller promises the snapshot
+        is ephemeral and never restored again.
         """
         if state.config != self.config:
             raise ConfigurationError(
@@ -902,7 +909,7 @@ class Machine:
                 "configuration; fork() or build an identical machine"
             )
         for cache, cache_state in zip(self.hierarchy.levels, state.caches):
-            cache.restore_state(cache_state)
+            cache.restore_state(cache_state, adopt=_adopt)
         self.bia.restore_state(state.bia)
         self.dram.restore_state(state.dram)
         self.memory.adopt_pages(state.pages)
@@ -927,7 +934,9 @@ class Machine:
         instrumented independently.
         """
         clone = Machine(self.config)
-        clone.restore_state(self.save_state())
+        # The snapshot is ephemeral (never restored again), so the
+        # restore may adopt its policy clones instead of re-cloning.
+        clone.restore_state(self.save_state(), _adopt=True)
         return clone
 
 

@@ -113,6 +113,10 @@ class MitigationContext:
     ) -> None:
         self.machine.store_word(addr, value, size)
 
+    def plain_store_words(self, addrs, values) -> None:
+        """Batched :meth:`plain_store` (bit-identical, see store_words)."""
+        self.machine.store_words(addrs, values)
+
     def execute(self, n_insts: int) -> None:
         self.machine.execute(n_insts)
 

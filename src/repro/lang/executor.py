@@ -85,15 +85,23 @@ class Executor:
                 )
         return self._bases[array] + 4 * index
 
-    def _setup(
-        self, inputs: Dict[str, int], arrays: Dict[str, Sequence[int]]
-    ) -> None:
+    def _bind_inputs(self, inputs: Dict[str, int]) -> None:
+        """Load the input registers (no machine state is touched)."""
         program = self.program
         missing = set(program.all_inputs) - set(inputs)
         if missing:
             raise ProtocolError(f"missing inputs: {sorted(missing)}")
         self._regs = {name: int(inputs[name]) for name in program.all_inputs}
-        for decl in program.arrays:
+
+    def _init_arrays(self, arrays: Dict[str, Sequence[int]]) -> None:
+        """Allocate, populate and register every declared array.
+
+        This is the machine-state half of setup: every word is stored
+        through the cache hierarchy, so the simulated state (and the
+        cycle counter) after initialisation is exactly what real
+        initialisation code would leave behind.
+        """
+        for decl in self.program.arrays:
             data = list(arrays.get(decl.name, [0] * decl.size))
             if len(data) != decl.size:
                 raise ProtocolError(
@@ -103,11 +111,31 @@ class Executor:
             base = self.machine.allocator.alloc_words(decl.size, decl.name)
             self._bases[decl.name] = base
             self._sizes[decl.name] = decl.size
-            for i, word in enumerate(data):
-                self.ctx.plain_store(base + 4 * i, word & MASK32)
+            self.ctx.plain_store_words(
+                [base + 4 * i for i in range(len(data))],
+                [word & MASK32 for word in data],
+            )
             self._ds[decl.name] = self.ctx.register_ds(
                 base, 4 * decl.size, decl.name
             )
+
+    def _setup(
+        self, inputs: Dict[str, int], arrays: Dict[str, Sequence[int]]
+    ) -> None:
+        self._bind_inputs(inputs)
+        self._init_arrays(arrays)
+
+    def _collect_outputs(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            name: self._regs.get(name, 0) for name in self.program.outputs
+        }
+        for name in self.program.output_arrays:
+            base, size = self._bases[name], self._sizes[name]
+            out[name] = [
+                self.machine.memory.read_word(base + 4 * i)
+                for i in range(size)
+            ]
+        return out
 
     # -- execution -----------------------------------------------------------------
 
@@ -119,16 +147,7 @@ class Executor:
         """Execute; returns ``{output: value}`` (+ output arrays)."""
         self._setup(inputs, arrays or {})
         self._walk(self.program.body, pred=None)
-        out: Dict[str, object] = {
-            name: self._regs.get(name, 0) for name in self.program.outputs
-        }
-        for name in self.program.output_arrays:
-            base, size = self._bases[name], self._sizes[name]
-            out[name] = [
-                self.machine.memory.read_word(base + 4 * i)
-                for i in range(size)
-            ]
-        return out
+        return self._collect_outputs()
 
     def _walk(self, body: Tuple, pred: Optional[bool]) -> None:
         for stmt in body:
@@ -246,3 +265,78 @@ def run_program(
 ) -> Dict[str, object]:
     """One-shot convenience wrapper around :class:`Executor`."""
     return Executor(program, ctx, mitigate=mitigate).run(inputs, arrays)
+
+
+class WarmStart:
+    """Array setup paid once, forked per run — cycle-exact.
+
+    Array initialisation stores every word through the full cache
+    hierarchy, and for the short programs the analysis pipeline
+    executes it dominates the run.  When several runs share one
+    initial array image (the repair driver's native/repaired/manual
+    overhead triple, the sanitizer's two sides of a relational pair),
+    the stores — and the simulated state and statistics they produce —
+    are identical, so they execute once on this template's machine and
+    each run continues from a
+    :meth:`~repro.ct.context.MitigationContext.fork`.  Forking
+    preserves the machine's exact state *and counters*, so cycle
+    counts, digests and outputs are bit-identical to rebuilding and
+    replaying the setup; input registers are bound per run (they never
+    touch the machine).
+
+    The programs run on a fork may differ from the template's (the
+    repair driver runs original and repaired variants on one image) as
+    long as they declare the same arrays.
+    """
+
+    def __init__(
+        self,
+        program: ir.Program,
+        ctx: MitigationContext,
+        arrays: Optional[Dict[str, Sequence[int]]] = None,
+        mitigate: bool = True,
+    ) -> None:
+        self.program = program
+        self.mitigate = mitigate
+        self._ctx = ctx
+        warmer = Executor(program, ctx, mitigate=mitigate)
+        warmer._init_arrays(arrays or {})
+        self._bases = warmer._bases
+        self._sizes = warmer._sizes
+        self._ds = warmer._ds
+
+    def resume(
+        self,
+        ctx: MitigationContext,
+        inputs: Dict[str, int],
+        program: Optional[ir.Program] = None,
+        mitigate: Optional[bool] = None,
+    ) -> Dict[str, object]:
+        """Execute on ``ctx`` (a fork of the template's context)."""
+        program = program or self.program
+        if program.arrays != self.program.arrays:
+            raise ProtocolError(
+                f"program {program.name!r} declares different arrays "
+                f"than the warmed template {self.program.name!r}"
+            )
+        executor = Executor(
+            program,
+            ctx,
+            mitigate=self.mitigate if mitigate is None else mitigate,
+        )
+        executor._bases = dict(self._bases)
+        executor._sizes = dict(self._sizes)
+        executor._ds = dict(self._ds)
+        executor._bind_inputs(inputs)
+        executor._walk(program.body, pred=None)
+        return executor._collect_outputs()
+
+    def run(
+        self,
+        inputs: Dict[str, int],
+        program: Optional[ir.Program] = None,
+        mitigate: Optional[bool] = None,
+    ) -> Tuple[MitigationContext, Dict[str, object]]:
+        """Fork the template and execute; returns ``(fork, outputs)``."""
+        ctx = self._ctx.fork()
+        return ctx, self.resume(ctx, inputs, program, mitigate)

@@ -71,8 +71,9 @@ def run(ctx: MitigationContext, size: int, seed: int) -> List[int]:
     array, keys = generate_input(size, seed)
     base = machine.allocator.alloc_words(size, "array")
     # The program loads its sorted data (warms the DS uniformly).
-    for i, v in enumerate(array):
-        ctx.plain_store(base + 4 * i, v)
+    ctx.plain_store_words(
+        [base + 4 * i for i in range(len(array))], array
+    )
     ds = ctx.register_ds(base, size * params.WORD_SIZE, "array")
 
     results = []

@@ -60,17 +60,20 @@ def run(ctx: MitigationContext, size: int, seed: int) -> List[int]:
     dist_base = machine.allocator.alloc_words(size, "dist")
     visited_base = machine.allocator.alloc_words(size, "visited")
     # The program builds its weight matrix (warms the DS uniformly).
-    for i in range(size):
-        row_base = adj_base + 4 * size * i
-        for j in range(size):
-            ctx.plain_store(row_base + 4 * j, weights[i][j])
+    ctx.plain_store_words(
+        [adj_base + 4 * k for k in range(size * size)],
+        [w for row in weights for w in row],
+    )
     ds_adj = ctx.register_ds(adj_base, size * size * params.WORD_SIZE, "adj")
     ds_dist = ctx.register_ds(dist_base, size * params.WORD_SIZE, "dist")
     ds_visited = ctx.register_ds(visited_base, size * params.WORD_SIZE, "visited")
 
+    init_addrs: List[int] = []
+    init_vals: List[int] = []
     for v in range(size):
-        ctx.plain_store(dist_base + 4 * v, INF if v else 0)
-        ctx.plain_store(visited_base + 4 * v, 0)
+        init_addrs += (dist_base + 4 * v, visited_base + 4 * v)
+        init_vals += (INF if v else 0, 0)
+    ctx.plain_store_words(init_addrs, init_vals)
 
     for iteration in range(size):
         if iteration == 1:

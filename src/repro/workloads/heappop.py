@@ -66,8 +66,9 @@ def run(ctx: MitigationContext, size: int, seed: int) -> List[int]:
     heap = _build_heap(generate_values(size, seed))
     base = machine.allocator.alloc_words(size, "heap")
     # The program heapifies its data in place (warms the DS uniformly).
-    for i, v in enumerate(heap):
-        ctx.plain_store(base + 4 * i, v)
+    ctx.plain_store_words(
+        [base + 4 * i for i in range(len(heap))], heap
+    )
     ds = ctx.register_ds(base, size * params.WORD_SIZE, "heap")
 
     levels = max((size - 1).bit_length(), 1)

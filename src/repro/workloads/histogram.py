@@ -76,12 +76,15 @@ def run(
     values = generate_inputs(size, seed)
     in_base = machine.allocator.alloc_words(len(values), "in")
     out_base = machine.allocator.alloc_words(size, "out")
-    for i, v in enumerate(values):
-        ctx.plain_store(in_base + 4 * i, v & 0xFFFFFFFF)
+    ctx.plain_store_words(
+        [in_base + 4 * i for i in range(len(values))],
+        [v & 0xFFFFFFFF for v in values],
+    )
     # The program zero-initializes its bins; this also warms the DS for
     # every scheme equally (part of the pre-measurement warm-up).
-    for j in range(size):
-        ctx.plain_store(out_base + 4 * j, 0)
+    ctx.plain_store_words(
+        [out_base + 4 * j for j in range(size)], [0] * size
+    )
     ds_out = ctx.register_ds(out_base, size * params.WORD_SIZE, name="out")
 
     for i in range(len(values)):

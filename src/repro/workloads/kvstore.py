@@ -47,9 +47,12 @@ class ObliviousKVStore:
         machine = ctx.machine
         self._keys_base = machine.allocator.alloc_words(self.size, "kv_keys")
         self._values_base = machine.allocator.alloc_words(self.size, "kv_values")
+        addrs: List[int] = []
+        vals: List[int] = []
         for i, (key, value) in enumerate(items):
-            ctx.plain_store(self._keys_base + 4 * i, key)
-            ctx.plain_store(self._values_base + 4 * i, value)
+            addrs += (self._keys_base + 4 * i, self._values_base + 4 * i)
+            vals += (key, value)
+        ctx.plain_store_words(addrs, vals)
         self._ds_keys = ctx.register_ds(
             self._keys_base, self.size * params.WORD_SIZE, "kv_keys"
         )

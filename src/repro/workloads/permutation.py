@@ -43,11 +43,11 @@ def run(ctx: MitigationContext, size: int, seed: int) -> Dict[int, int]:
     b = generate_permutation(size, seed)
     b_base = machine.allocator.alloc_words(len(b), "b")
     a_base = machine.allocator.alloc_words(size, "a")
-    for i, v in enumerate(b):
-        ctx.plain_store(b_base + 4 * i, v)
+    ctx.plain_store_words([b_base + 4 * i for i in range(len(b))], b)
     # Zero-initialize the output array (warms the DS for every scheme).
-    for j in range(size):
-        ctx.plain_store(a_base + 4 * j, 0)
+    ctx.plain_store_words(
+        [a_base + 4 * j for j in range(size)], [0] * size
+    )
     ds_a = ctx.register_ds(a_base, size * params.WORD_SIZE, "a")
 
     for i in range(len(b)):
